@@ -1,0 +1,219 @@
+package wfsim_test
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (§5): one benchmark per artifact, each running the full
+// paper-scale experiment on the simulated Minotauro cluster and reporting
+// paper-comparable metrics via b.ReportMetric. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Shape assertions live in internal/experiments (calibration_test.go,
+// observations_test.go); these benches measure and report.
+
+import (
+	"testing"
+
+	"wfsim"
+	"wfsim/internal/experiments"
+	"wfsim/internal/sim"
+	"wfsim/internal/stats"
+)
+
+func runExperiment(b *testing.B, id string) experiments.Result {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res, err = e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+// BenchmarkFig1 regenerates Figure 1: K-means stage speedups.
+func BenchmarkFig1(b *testing.B) {
+	res := runExperiment(b, "fig1").(*experiments.Fig1Result)
+	b.ReportMetric(res.PFracSpeedup, "pfrac-speedup")
+	b.ReportMetric(res.UserCodeSpeedup, "usrcode-speedup")
+	b.ReportMetric(res.PTaskSpeedup, "ptask-speedup")
+}
+
+// BenchmarkFig7a regenerates Figure 7a: Matmul end-to-end analysis.
+func BenchmarkFig7a(b *testing.B) {
+	res := runExperiment(b, "fig7a").(*experiments.Fig7Result)
+	max := 0.0
+	for _, p := range res.Sweeps[0].Points {
+		if !p.CPU.OOM && !p.GPU.OOM && p.PFracSpd > max {
+			max = p.PFracSpd
+		}
+	}
+	b.ReportMetric(max, "max-pfrac-speedup")
+}
+
+// BenchmarkFig7b regenerates Figure 7b: K-means end-to-end analysis.
+func BenchmarkFig7b(b *testing.B) {
+	res := runExperiment(b, "fig7b").(*experiments.Fig7Result)
+	first := res.Sweeps[0].Points[0]
+	b.ReportMetric(first.PTaskSpd, "finegrain-ptask-speedup")
+}
+
+// BenchmarkFig8 regenerates Figure 8: matmul_func vs add_func complexity.
+func BenchmarkFig8(b *testing.B) {
+	res := runExperiment(b, "fig8").(*experiments.Fig8Result)
+	var mmMax, addMax float64
+	for _, p := range res.Sweeps[0].Points {
+		if p.CPU.OOM || p.GPU.OOM {
+			continue
+		}
+		if s := experiments.Speedup(p.CPU.UserMean, p.GPU.UserMean); s > mmMax {
+			mmMax = s
+		}
+		if s := experiments.AddFuncSpeedup(p); s > addMax {
+			addMax = s
+		}
+	}
+	b.ReportMetric(mmMax, "matmul_func-max-speedup")
+	b.ReportMetric(addMax, "add_func-max-speedup")
+}
+
+// BenchmarkFig9a regenerates Figure 9a: the #clusters effect.
+func BenchmarkFig9a(b *testing.B) {
+	res := runExperiment(b, "fig9a").(*experiments.Fig9aResult)
+	b.ReportMetric(res.Sweeps[0].Points[0].UserSpd, "speedup-k10")
+	b.ReportMetric(res.Sweeps[2].Points[0].UserSpd, "speedup-k1000")
+}
+
+// BenchmarkFig9b regenerates Figure 9b: the data-skew (non-)effect, with
+// real kernel execution.
+func BenchmarkFig9b(b *testing.B) {
+	res := runExperiment(b, "fig9b").(*experiments.Fig9bResult)
+	var maxDelta float64
+	for _, p := range res.Points {
+		if d := p.Delta(); d > maxDelta {
+			maxDelta = d
+		}
+	}
+	b.ReportMetric(maxDelta*100, "max-skew-delta-%")
+}
+
+// BenchmarkFig10 regenerates Figure 10: storage × scheduler effects.
+func BenchmarkFig10(b *testing.B) {
+	b.Run("matmul", func(b *testing.B) { runExperiment(b, "fig10a") })
+	b.Run("kmeans", func(b *testing.B) {
+		res := runExperiment(b, "fig10b").(*experiments.Fig10Result)
+		// Shared-vs-local aggregate ratio (CPU, FIFO).
+		var local, shared float64
+		for gi := range res.Grids {
+			local += res.Points[0][gi].CPU.PTaskMean
+			shared += res.Points[2][gi].CPU.PTaskMean
+		}
+		b.ReportMetric(shared/local, "shared/local-ratio")
+	})
+}
+
+// BenchmarkFig11 regenerates Figure 11: the 192-sample Spearman matrix.
+func BenchmarkFig11(b *testing.B) {
+	res := runExperiment(b, "fig11").(*experiments.Fig11Result)
+	b.ReportMetric(float64(res.Samples), "samples")
+	if v, err := res.Matrix.At(experiments.FeatPTaskTime, experiments.FeatComplexity); err == nil {
+		b.ReportMetric(v, "r-time-complexity")
+	}
+}
+
+// BenchmarkFig12 regenerates Figure 12: the Matmul FMA generalizability
+// experiment.
+func BenchmarkFig12(b *testing.B) {
+	res := runExperiment(b, "fig12").(*experiments.Fig8Result)
+	var max float64
+	for _, p := range res.Sweeps[0].Points {
+		if !p.CPU.OOM && !p.GPU.OOM {
+			if s := experiments.Speedup(p.CPU.UserMean, p.GPU.UserMean); s > max {
+				max = s
+			}
+		}
+	}
+	b.ReportMetric(max, "fma-max-speedup")
+}
+
+// BenchmarkTable1 regenerates Table 1 (trivially: it is a taxonomy).
+func BenchmarkTable1(b *testing.B) {
+	runExperiment(b, "table1")
+}
+
+// --- Substrate micro-benchmarks: the simulator itself must be fast
+// enough to sweep hundreds of configurations.
+
+// BenchmarkSimEngine measures raw event throughput of the DES engine.
+func BenchmarkSimEngine(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := sim.New()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(float64(j)*1e-3, func() {})
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimWorkflow measures a full paper-scale simulated K-means run
+// (1285 tasks, 10 GB, 256 blocks, 5 iterations).
+func BenchmarkSimWorkflow(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wf, err := wfsim.BuildKMeans(wfsim.KMeansConfig{
+			Dataset: wfsim.Datasets.KMeansSmall, Grid: 256, Clusters: 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wfsim.RunSim(wf, wfsim.SimConfig{Device: wfsim.GPU}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRealMatmul measures the real blocked-multiply backend.
+func BenchmarkRealMatmul(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wf, err := wfsim.BuildMatmul(wfsim.MatmulConfig{
+			Dataset:     wfsim.Dataset{Name: "bench", Rows: 256, Cols: 256},
+			Grid:        2,
+			Materialize: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wfsim.RunLocal(wf, wfsim.LocalConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpearman measures the correlation kernel on 192 samples × 15
+// features (the Figure 11 shape).
+func BenchmarkSpearman(b *testing.B) {
+	names := make([]string, 15)
+	cols := make([][]float64, 15)
+	for i := range cols {
+		names[i] = string(rune('a' + i))
+		cols[i] = make([]float64, 192)
+		for j := range cols[i] {
+			cols[i][j] = float64((j*31+i*17)%97) / 97
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.CorrelationMatrix(names, cols); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,370 @@
+// Command wfsim runs the paper's experiments and utilities from the
+// command line.
+//
+// Usage:
+//
+//	wfsim list                         list available experiments
+//	wfsim run <id> [...]               run experiments by ID (fig1, fig7a, ... table1, all)
+//	wfsim dag <kmeans|matmul|fma> [-grid g] [-iters n]
+//	                                   emit the workload DAG as Graphviz DOT (Figure 6)
+//	wfsim sweep [-alg kmeans|matmul] [-dataset small|large|tiny]
+//	                                   print a block-size sweep (CPU vs GPU)
+//	wfsim trace [-grid g] [-out file]  run K-means and dump a Paraver-like trace
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wfsim/internal/apps/kmeans"
+	"wfsim/internal/apps/matmul"
+	"wfsim/internal/dataset"
+	"wfsim/internal/experiments"
+	"wfsim/internal/model"
+	"wfsim/internal/runtime"
+	"wfsim/internal/tables"
+
+	"wfsim/internal/costmodel"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "dag":
+		err = cmdDAG(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "advise":
+		err = cmdAdvise(os.Args[2:])
+	case "gantt":
+		err = cmdGantt(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "wfsim: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfsim:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  wfsim list                       list available experiments
+  wfsim run <id>... | all          run experiments (fig1 fig7a fig7b fig8 fig9a fig9b fig10a fig10b fig11 fig12 table1)
+  wfsim dag <kmeans|matmul|fma>    emit a workload DAG as Graphviz DOT
+  wfsim sweep                      block-size sweep, CPU vs GPU
+  wfsim trace                      dump a Paraver-like trace of a K-means run
+  wfsim advise                     analytic CPU-vs-GPU recommendation for a workload
+  wfsim gantt                      ASCII per-core timeline of a simulated run`)
+}
+
+func cmdList() error {
+	t := tables.New("Experiments", "id", "title")
+	for _, e := range experiments.All() {
+		t.AddRow(e.ID, e.Title)
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+func cmdRun(args []string) error {
+	asJSON := false
+	var ids []string
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			asJSON = true
+			continue
+		}
+		ids = append(ids, a)
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("run: no experiment id (try `wfsim list`)")
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = nil
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	type jsonOut struct {
+		ID     string             `json:"id"`
+		Title  string             `json:"title"`
+		Result experiments.Result `json:"result"`
+	}
+	var outs []jsonOut
+	for _, id := range ids {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		res, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if asJSON {
+			outs = append(outs, jsonOut{ID: e.ID, Title: e.Title, Result: res})
+			continue
+		}
+		fmt.Printf("==== %s — %s (%v)\n\n%s\n", e.ID, e.Title, time.Since(start).Round(time.Millisecond), res.Render())
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(outs)
+	}
+	return nil
+}
+
+func cmdDAG(args []string) error {
+	fs := flag.NewFlagSet("dag", flag.ContinueOnError)
+	grid := fs.Int64("grid", 4, "grid dimension g")
+	iters := fs.Int("iters", 3, "K-means iterations")
+	if len(args) == 0 {
+		return fmt.Errorf("dag: missing workload (kmeans|matmul|fma)")
+	}
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	var wf *runtime.Workflow
+	var err error
+	switch args[0] {
+	case "kmeans":
+		wf, err = kmeans.Build(kmeans.Config{
+			Dataset: dataset.KMeansSmall, Grid: *grid, Clusters: 10, Iterations: *iters,
+		})
+	case "matmul":
+		wf, err = matmul.Build(matmul.Config{Dataset: dataset.MatmulSmall, Grid: *grid})
+	case "fma":
+		wf, err = matmul.Build(matmul.Config{Dataset: dataset.MatmulSmall, Grid: *grid, Variant: matmul.FMA})
+	default:
+		return fmt.Errorf("dag: unknown workload %q", args[0])
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "# %s: %d tasks, width %d, height %d\n# %s\n",
+		args[0], wf.Graph.Len(), wf.Graph.MaxWidth(), wf.Graph.MaxHeight(), wf.Graph.Summary())
+	return wf.Graph.DOT(os.Stdout, fmt.Sprintf("%s grid %d", args[0], *grid))
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	alg := fs.String("alg", "kmeans", "algorithm: kmeans or matmul")
+	dsName := fs.String("dataset", "small", "dataset: tiny, small or large")
+	clusters := fs.Int64("clusters", 10, "K-means clusters")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var a experiments.Algorithm
+	var ds dataset.Dataset
+	var grids []int64
+	switch *alg {
+	case "kmeans":
+		a = experiments.KMeans
+		grids = dataset.KMeansGrids
+		switch *dsName {
+		case "tiny":
+			ds = dataset.KMeansTiny
+		case "large":
+			ds = dataset.KMeansLarge
+		default:
+			ds = dataset.KMeansSmall
+		}
+	case "matmul":
+		a = experiments.Matmul
+		grids = dataset.MatmulGrids
+		switch *dsName {
+		case "tiny":
+			ds = dataset.MatmulTiny
+		case "large":
+			ds = dataset.MatmulLarge
+		default:
+			ds = dataset.MatmulSmall
+		}
+	default:
+		return fmt.Errorf("sweep: unknown algorithm %q", *alg)
+	}
+	t := tables.New(fmt.Sprintf("Sweep: %s on %s", a, ds),
+		"block size", "grid", "CPU p.tasks (s)", "GPU p.tasks (s)", "GPU speedup", "")
+	for i := len(grids) - 1; i >= 0; i-- {
+		cpu, gpu, err := experiments.RunPair(experiments.CellConfig{
+			Algorithm: a, Dataset: ds, Grid: grids[i], Clusters: *clusters,
+		})
+		if err != nil {
+			return err
+		}
+		note := ""
+		switch {
+		case cpu.OOM && gpu.OOM:
+			note = "CPU GPU OOM"
+		case gpu.OOM:
+			note = "GPU OOM"
+		}
+		spd := "-"
+		cpuS, gpuS := "-", "-"
+		if !cpu.OOM {
+			cpuS = tables.FormatFloat(cpu.PTaskMean)
+		}
+		if !gpu.OOM {
+			gpuS = tables.FormatFloat(gpu.PTaskMean)
+		}
+		if !cpu.OOM && !gpu.OOM {
+			spd = tables.FormatSpeedup(experiments.Speedup(cpu.PTaskMean, gpu.PTaskMean))
+		}
+		t.AddRow(dataset.FormatBytes(cpu.BlockBytes), cpu.GridString, cpuS, gpuS, spd, note)
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+// cmdAdvise runs the §5.4.3 analytic advisor on one of the paper's
+// workloads: it decomposes the task user code (Amdahl view) and predicts
+// whether GPU offload pays off at the configured task count, without
+// running a simulation.
+func cmdAdvise(args []string) error {
+	fs := flag.NewFlagSet("advise", flag.ContinueOnError)
+	alg := fs.String("alg", "kmeans", "workload: kmeans or matmul")
+	grid := fs.Int64("grid", 256, "grid dimension (= task count per level)")
+	clusters := fs.Int64("clusters", 10, "K-means clusters")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	params := costmodel.DefaultParams()
+	var prof costmodel.Profile
+	var tasks int
+	switch *alg {
+	case "kmeans":
+		part, err := dataset.ByGrid(dataset.KMeansSmall, *grid, 1)
+		if err != nil {
+			return err
+		}
+		prof = kmeans.PartialSumProfile(part.BlockRows, part.BlockCols, *clusters)
+		prof.ReadBytes = float64(part.BlockBytes())
+		prof.WriteBytes = float64(*clusters * (part.BlockCols + 1) * 8)
+		tasks = int(*grid)
+	case "matmul":
+		part, err := dataset.ByGrid(dataset.MatmulSmall, *grid, *grid)
+		if err != nil {
+			return err
+		}
+		prof, _ = matmul.Profiles(part.BlockRows)
+		prof.ReadBytes, prof.WriteBytes = prof.BytesIn, prof.BytesOut
+		tasks = int(*grid * *grid * *grid)
+	default:
+		return fmt.Errorf("advise: unknown workload %q", *alg)
+	}
+
+	b := model.Breakdown(params, prof)
+	t := tables.New("Analytic user-code breakdown (per task)",
+		"component", "seconds")
+	t.AddRow("serial fraction", tables.FormatFloat(b.SerialSec))
+	t.AddRow("parallel fraction (CPU core)", tables.FormatFloat(b.CPUParallel))
+	t.AddRow("parallel fraction (GPU)", tables.FormatFloat(b.GPUParallel))
+	t.AddRow("CPU-GPU communication", tables.FormatFloat(b.CommSec))
+	fmt.Print(t.String())
+	fmt.Printf("\nkernel speedup %.2fx | user-code speedup %.2fx | parallel fraction %.0f%% | Amdahl limit %.2fx\n\n",
+		b.KernelSpeedup, b.UserCodeSpeedup, b.ParallelFraction*100, b.AmdahlLimit)
+
+	adv := model.NewAdvisor()
+	rec := adv.Recommend(prof, tasks)
+	r := tables.New(fmt.Sprintf("Level prediction for %d tasks on Minotauro", tasks),
+		"device", "lower bound (s)", "upper bound (s)", "")
+	for _, p := range []model.Prediction{rec.CPU, rec.GPU} {
+		if p.OOM {
+			r.AddRow(p.Device.String(), "-", "-", "OOM")
+			continue
+		}
+		r.AddRow(p.Device.String(), tables.FormatFloat(p.LevelLower), tables.FormatFloat(p.LevelUpper), "")
+	}
+	fmt.Print(r.String())
+	verdict := "CPU"
+	if rec.UseGPU {
+		verdict = "GPU"
+	}
+	conf := "bounds overlap — verify with `wfsim sweep`"
+	if rec.Confident {
+		conf = "confident (bounds separated)"
+	}
+	fmt.Printf("\nrecommendation: %s (%s)\n", verdict, conf)
+	return nil
+}
+
+// cmdGantt simulates a K-means run and renders a per-core ASCII timeline:
+// the terminal equivalent of a Paraver view, showing where cores spend
+// their time ((de)serialization dominance, GPU waves, stragglers).
+func cmdGantt(args []string) error {
+	fs := flag.NewFlagSet("gantt", flag.ContinueOnError)
+	grid := fs.Int64("grid", 32, "grid dimension")
+	gpu := fs.Bool("gpu", true, "GPU-accelerate parallel tasks")
+	width := fs.Int("width", 100, "timeline width in characters")
+	rows := fs.Int("rows", 16, "max core rows (busiest first)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	wf, err := kmeans.Build(kmeans.Config{
+		Dataset: dataset.KMeansSmall, Grid: *grid, Clusters: 10, Iterations: 2,
+	})
+	if err != nil {
+		return err
+	}
+	dev := costmodel.CPU
+	if *gpu {
+		dev = costmodel.GPU
+	}
+	res, err := runtime.RunSim(wf, runtime.SimConfig{Device: dev})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("K-means 10 GB, grid %dx1, %s tasks — makespan %.2fs, core util %.0f%%, gpu util %.0f%%\n",
+		*grid, dev, res.Makespan, res.CoreUtilization*100, res.GPUUtilization*100)
+	return res.Collector.WriteGantt(os.Stdout, *width, *rows)
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	grid := fs.Int64("grid", 32, "grid dimension")
+	out := fs.String("out", "", "output file (default stdout)")
+	format := fs.String("format", "prv", "trace format: prv or csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	wf, err := kmeans.Build(kmeans.Config{Dataset: dataset.KMeansSmall, Grid: *grid, Clusters: 10})
+	if err != nil {
+		return err
+	}
+	res, err := runtime.RunSim(wf, runtime.SimConfig{Device: costmodel.GPU})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if *format == "csv" {
+		return res.Collector.WriteCSV(w)
+	}
+	return res.Collector.WritePRV(w)
+}

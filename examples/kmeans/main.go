@@ -1,0 +1,83 @@
+// Distributed K-means: the paper's partially parallelizable workload
+// (§4.4.4). Clusters real blob data with the local backend, reports
+// convergence, then reproduces the paper's Figure 1 motivating numbers on
+// the simulated cluster: GPU gains that shine per-kernel, shrink per-task,
+// and invert end-to-end.
+//
+//	go run ./examples/kmeans
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wfsim"
+	"wfsim/internal/apps/kmeans"
+	"wfsim/internal/cluster"
+	"wfsim/internal/experiments"
+	"wfsim/internal/tables"
+)
+
+func main() {
+	// --- Real clustering of blob data.
+	cfg := kmeans.Config{
+		Dataset:     wfsim.Dataset{Name: "blobs", Rows: 40_000, Cols: 8},
+		Grid:        8,
+		Clusters:    6,
+		Iterations:  8,
+		Materialize: true,
+	}
+	wf, err := wfsim.BuildKMeans(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("real run: %d samples, %d blocks, %d clusters, %d iterations (DAG height %d)\n",
+		cfg.Dataset.Rows, cfg.Grid, cfg.Clusters, cfg.Iterations, wf.Graph.MaxHeight())
+	res, err := wfsim.RunLocal(wf, wfsim.LocalConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("finished in %v; inertia per iteration:\n", res.Elapsed)
+	var firstInertia float64
+	for it := 1; it <= cfg.Iterations; it++ {
+		in, err := kmeans.Inertia(res.Store, cfg, kmeans.KeyCenters(it))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if it == 1 {
+			firstInertia = in
+		}
+		fmt.Printf("  iter %2d: %14.1f %s\n", it, in, tables.Bar(in, firstInertia, 40))
+	}
+
+	// --- The paper's Figure 1 on the simulator.
+	fmt.Println("\nsimulated 10 GB K-means, 256 tasks, on Minotauro (cf. paper Figure 1):")
+	single := experiments.CellConfig{
+		Algorithm: experiments.KMeans,
+		Dataset:   wfsim.Datasets.KMeansSmall,
+		Grid:      256, Clusters: 10, Iterations: 1,
+		Cluster: cluster.Spec{Name: "single", Nodes: 1, CoresPerNode: 1, GPUsPerNode: 1},
+	}
+	sCPU, sGPU, err := experiments.RunPair(single)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := single
+	full.Cluster = cluster.Spec{}
+	full.Iterations = 0
+	pCPU, pGPU, err := experiments.RunPair(full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := tables.New("", "stage", "GPU speedup over CPU")
+	t.AddRow("parallel fraction (single task)",
+		tables.FormatSpeedup(experiments.Speedup(sCPU.PFracMean, sGPU.PFracMean)))
+	t.AddRow("task user code (single task)",
+		tables.FormatSpeedup(experiments.Speedup(sCPU.UserMean, sGPU.UserMean)))
+	t.AddRow("parallel tasks (256 tasks)",
+		tables.FormatSpeedup(experiments.Speedup(pCPU.PTaskMean, pGPU.PTaskMean)))
+	fmt.Print(t.String())
+	fmt.Println("\nThe kernel's 5.7x gain shrinks to ~1.2x once the serial fraction and")
+	fmt.Println("CPU-GPU transfer are charged, and inverts end-to-end because only 32")
+	fmt.Println("GPU tasks run in parallel against 128 CPU tasks — the paper's headline.")
+}

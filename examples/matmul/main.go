@@ -1,0 +1,71 @@
+// Distributed blocked matrix multiplication: the paper's fully
+// parallelizable workload (§4.4.4). Runs a real block-level multiply on
+// the local backend, verifies it against a naive product, then projects
+// the 8 GB paper-scale configuration onto the simulated Minotauro cluster
+// to show where GPU acceleration pays off (Figures 7a and 8).
+//
+//	go run ./examples/matmul
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wfsim"
+	"wfsim/internal/apps/matmul"
+	"wfsim/internal/dataset"
+	"wfsim/internal/experiments"
+	"wfsim/internal/tables"
+)
+
+func main() {
+	// --- Real execution at host scale: 512x512 over a 4x4 grid.
+	real := matmul.Config{
+		Dataset:     wfsim.Dataset{Name: "demo", Rows: 512, Cols: 512},
+		Grid:        4,
+		Materialize: true,
+		Generator:   wfsim.NewGenerator(7),
+	}
+	wf, err := wfsim.BuildMatmul(real)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := wf.Graph.CountByName()
+	fmt.Printf("real run: %d matmul_func + %d add_func tasks (DAG width %d, height %d)\n",
+		counts["matmul_func"], counts["add_func"], wf.Graph.MaxWidth(), wf.Graph.MaxHeight())
+	res, err := wfsim.RunLocal(wf, wfsim.LocalConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := matmul.Reference(wf, res.Store, real); err != nil {
+		log.Fatalf("verification FAILED: %v", err)
+	}
+	fmt.Printf("verified against naive product in %v\n\n", res.Elapsed)
+
+	// --- Paper-scale projection: 8 GB dataset on Minotauro, CPU vs GPU.
+	fmt.Println("simulated 8 GB Matmul on Minotauro (cf. paper Figure 7a):")
+	t := tables.New("", "block size", "grid", "CPU time (s)", "GPU time (s)", "GPU speedup", "")
+	grids := dataset.MatmulGrids
+	for i := len(grids) - 1; i >= 0; i-- {
+		cpu, gpu, err := experiments.RunPair(experiments.CellConfig{
+			Algorithm: experiments.Matmul,
+			Dataset:   wfsim.Datasets.MatmulSmall,
+			Grid:      grids[i],
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		note, gpuS, spd := "", "-", "-"
+		if gpu.OOM {
+			note = "GPU OOM (3 blocks > 12 GB)"
+		} else {
+			gpuS = tables.FormatFloat(gpu.Makespan)
+			spd = tables.FormatSpeedup(experiments.Speedup(cpu.Makespan, gpu.Makespan))
+		}
+		t.AddRow(dataset.FormatBytes(cpu.BlockBytes), cpu.GridString,
+			tables.FormatFloat(cpu.Makespan), gpuS, spd, note)
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nThe O(N³) matmul_func gains grow with block size until the 12 GB GPU")
+	fmt.Println("memory bound; the O(N²) add_func stays communication-dominated (Figure 8).")
+}

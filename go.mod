@@ -1,0 +1,3 @@
+module wfsim
+
+go 1.22

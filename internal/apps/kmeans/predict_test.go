@@ -1,0 +1,110 @@
+package kmeans
+
+import (
+	"testing"
+
+	"wfsim/internal/costmodel"
+	"wfsim/internal/dataset"
+	"wfsim/internal/runtime"
+)
+
+func TestPredictLabelsMatchNearestCenter(t *testing.T) {
+	// Fit then predict: with well-separated blobs, every sample's label
+	// must be the argmin-distance center, and blocks from the same blob
+	// structure should produce low inertia under the labels.
+	cfg := Config{
+		Dataset:     dataset.Dataset{Name: "blobs", Rows: 2000, Cols: 6},
+		Grid:        4,
+		Clusters:    4,
+		Iterations:  5,
+		Materialize: true,
+	}
+	fit, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitRes, err := runtime.RunLocal(fit, runtime.LocalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	centers := fitRes.Store.MustGet(KeyCenters(cfg.Iterations))
+
+	pred, err := BuildPredict(cfg, "centers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred.SetInput("centers", centers)
+	predRes, err := runtime.RunLocal(pred, runtime.LocalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Verify labels against a direct argmin for every sample.
+	for b := int64(0); b < cfg.Grid; b++ {
+		x := predRes.Store.MustGet(keyBlock(b))
+		labels := predRes.Store.MustGet(KeyLabels(b))
+		if labels.Rows != x.Rows || labels.Cols != 1 {
+			t.Fatalf("labels shape %dx%d", labels.Rows, labels.Cols)
+		}
+		for r := int64(0); r < x.Rows; r++ {
+			got := int64(labels.At(r, 0))
+			best, bestD := int64(0), 1e300
+			for c := int64(0); c < cfg.Clusters; c++ {
+				var d float64
+				for j := int64(0); j < x.Cols; j++ {
+					diff := x.At(r, j) - centers.At(c, j)
+					d += diff * diff
+				}
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if got != best {
+				t.Fatalf("block %d row %d: label %d, want %d", b, r, got, best)
+			}
+		}
+	}
+}
+
+func TestPredictDAGIsFullyParallel(t *testing.T) {
+	// Predict tasks share only the read-only centers: width == grid,
+	// height == 1.
+	wf, err := BuildPredict(Config{Dataset: dataset.KMeansSmall, Grid: 64, Clusters: 10}, "centers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := wf.Graph.MaxWidth(); w != 64 {
+		t.Fatalf("width = %d, want 64", w)
+	}
+	if h := wf.Graph.MaxHeight(); h != 1 {
+		t.Fatalf("height = %d, want 1", h)
+	}
+}
+
+func TestPredictSimAtPaperScale(t *testing.T) {
+	wf, err := BuildPredict(Config{Dataset: dataset.KMeansSmall, Grid: 128, Clusters: 10}, "centers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runtime.RunSim(wf, runtime.SimConfig{Device: costmodel.GPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("zero makespan")
+	}
+}
+
+func TestPredictProfile(t *testing.T) {
+	p := PredictProfile(1000, 100, 10)
+	ps := PartialSumProfile(1000, 100, 10)
+	if p.ParallelOps != ps.ParallelOps {
+		t.Fatal("predict parallel fraction should match the distance kernel")
+	}
+	if p.SerialOps >= ps.SerialOps {
+		t.Fatal("predict serial fraction should be below partial_sum's")
+	}
+	if p.BytesOut != 8*1000 {
+		t.Fatalf("labels output bytes = %v", p.BytesOut)
+	}
+}

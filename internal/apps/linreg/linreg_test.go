@@ -1,0 +1,118 @@
+package linreg
+
+import (
+	"testing"
+
+	"wfsim/internal/apps/kmeans"
+	"wfsim/internal/apps/matmul"
+	"wfsim/internal/costmodel"
+	"wfsim/internal/dataset"
+	"wfsim/internal/model"
+	"wfsim/internal/runtime"
+)
+
+func TestDAGShape(t *testing.T) {
+	wf, err := Build(Config{Dataset: dataset.KMeansSmall, Grid: 8, Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := wf.Graph.CountByName()
+	if counts["gradient"] != 24 || counts["update"] != 3 {
+		t.Fatalf("counts = %v, want 24 gradient + 3 update", counts)
+	}
+	// Narrow and deep, like K-means: iterations serialize.
+	if h := wf.Graph.MaxHeight(); h != 6 {
+		t.Fatalf("height = %d, want 6", h)
+	}
+	if w := wf.Graph.MaxWidth(); w != 8 {
+		t.Fatalf("width = %d, want 8", w)
+	}
+}
+
+func TestConvergesToTrueWeights(t *testing.T) {
+	cfg := Config{
+		Dataset:      dataset.Dataset{Name: "lin", Rows: 4000, Cols: 8},
+		Grid:         4,
+		Iterations:   20,
+		LocalEpochs:  10,
+		LearningRate: 0.3,
+		Materialize:  true,
+	}
+	wf, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runtime.RunLocal(wf, runtime.LocalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := MSE(res.Store, cfg, KeyWeights(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := MSE(res.Store, cfg, KeyWeights(cfg.Iterations))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final >= first {
+		t.Fatalf("gradient descent did not reduce MSE: %v -> %v", first, final)
+	}
+	if final > 0.01 {
+		t.Fatalf("final MSE = %v, want near-exact recovery (noise-free targets)", final)
+	}
+	// Recovered weights approximate the hidden generator.
+	w := res.Store.MustGet(KeyWeights(cfg.Iterations))
+	trueW := TrueWeights(cfg.Dataset.Cols)
+	for j := int64(0); j < cfg.Dataset.Cols; j++ {
+		diff := w.At(j, 0) - trueW[j]
+		if diff > 0.2 || diff < -0.2 {
+			t.Fatalf("w[%d] = %v, want ≈%v", j, w.At(j, 0), trueW[j])
+		}
+	}
+}
+
+// TestIntermediateParallelism verifies the §5.5.1 purpose of this
+// algorithm: its user-code GPU speedup sits strictly between K-means at
+// K=10 (≈1.24x, serial-heavy) and Matmul at large blocks (≈21x, fully
+// parallel).
+func TestIntermediateParallelism(t *testing.T) {
+	params := costmodel.DefaultParams()
+	part, err := dataset.ByGrid(dataset.KMeansSmall, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := model.Breakdown(params, GradientProfile(part.BlockRows, part.BlockCols, 10))
+	km := model.Breakdown(params, kmeans.PartialSumProfile(part.BlockRows, part.BlockCols, 10))
+	mmProf, _ := matmul.Profiles(16384)
+	mm := model.Breakdown(params, mmProf)
+	if !(lr.UserCodeSpeedup > km.UserCodeSpeedup && lr.UserCodeSpeedup < mm.UserCodeSpeedup) {
+		t.Fatalf("linreg speedup %.2f should lie between kmeans %.2f and matmul %.2f",
+			lr.UserCodeSpeedup, km.UserCodeSpeedup, mm.UserCodeSpeedup)
+	}
+	if !(lr.ParallelFraction > km.ParallelFraction && lr.ParallelFraction < mm.ParallelFraction) {
+		t.Fatalf("linreg parallel fraction %.2f should lie between kmeans %.2f and matmul %.2f",
+			lr.ParallelFraction, km.ParallelFraction, mm.ParallelFraction)
+	}
+}
+
+func TestSimAtPaperScale(t *testing.T) {
+	wf, err := Build(Config{Dataset: dataset.KMeansSmall, Grid: 128, Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dev := range []costmodel.DeviceKind{costmodel.CPU, costmodel.GPU} {
+		res, err := runtime.RunSim(wf, runtime.SimConfig{Device: dev})
+		if err != nil {
+			t.Fatalf("%v: %v", dev, err)
+		}
+		if res.Makespan <= 0 {
+			t.Fatal("zero makespan")
+		}
+	}
+}
+
+func TestBudget(t *testing.T) {
+	if _, err := Build(Config{Dataset: dataset.KMeansSmall, Grid: 4, Materialize: true}); err == nil {
+		t.Fatal("paper-scale materialization accepted")
+	}
+}

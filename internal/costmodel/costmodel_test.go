@@ -1,0 +1,150 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOccupancyBounds(t *testing.T) {
+	if got := Occupancy(0, 100); got != 0 {
+		t.Fatalf("Occupancy(0) = %v, want 0", got)
+	}
+	if got := Occupancy(100, 100); got != 0.5 {
+		t.Fatalf("Occupancy(sat) = %v, want 0.5", got)
+	}
+	if got := Occupancy(1e18, 100); got <= 0.999 {
+		t.Fatalf("Occupancy(huge) = %v, want ≈1", got)
+	}
+	f := func(threads, sat float64) bool {
+		threads = math.Abs(threads)
+		sat = math.Abs(sat) + 1
+		o := Occupancy(threads, sat)
+		return o >= 0 && o <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOccupancyMonotone(t *testing.T) {
+	prev := -1.0
+	for thr := 1.0; thr < 1e12; thr *= 3 {
+		o := Occupancy(thr, 1e6)
+		if o <= prev {
+			t.Fatalf("occupancy not strictly increasing at threads=%v", thr)
+		}
+		prev = o
+	}
+}
+
+func TestParallelTimeCPUProportional(t *testing.T) {
+	p := DefaultParams()
+	a := Profile{Kernel: KernelMatmul, ParallelOps: 1e9, Threads: 1e6}
+	b := a
+	b.ParallelOps = 2e9
+	ta, tb := p.ParallelTime(a, CPU), p.ParallelTime(b, CPU)
+	if math.Abs(tb-2*ta) > 1e-12 {
+		t.Fatalf("CPU time not proportional to ops: %v vs %v", ta, tb)
+	}
+}
+
+func TestGPUSpeedupGrowsWithThreads(t *testing.T) {
+	// The core mechanism behind "parallel-fraction speedups scale with
+	// block size" (Figure 7): with ops ∝ threads^1.5 (matmul-like), GPU
+	// speedup must increase monotonically with block size.
+	p := DefaultParams()
+	prev := 0.0
+	for n := 1024.0; n <= 32768; n *= 2 {
+		prof := Profile{Kernel: KernelMatmul, ParallelOps: 2 * n * n * n, Threads: n * n}
+		s := Speedup(p.ParallelTime(prof, CPU), p.ParallelTime(prof, GPU))
+		if s <= prev {
+			t.Fatalf("speedup not increasing at N=%v: %v <= %v", n, s, prev)
+		}
+		prev = s
+	}
+	if prev < 15 || prev > 30 {
+		t.Fatalf("saturated matmul speedup = %v, want ≈21× band [15,30]", prev)
+	}
+}
+
+func TestAddFuncGPUNeverWins(t *testing.T) {
+	// Figure 8 right: add_func user code is communication-dominated; the
+	// GPU loses at every block size.
+	p := DefaultParams()
+	for n := 2048.0; n <= 32768; n *= 2 {
+		prof := Profile{
+			Kernel:      KernelAdd,
+			ParallelOps: n * n,
+			Threads:     n * n,
+			BytesIn:     2 * 8 * n * n,
+			BytesOut:    8 * n * n,
+		}
+		s := Speedup(p.UserCodeTimeUncontended(prof, CPU), p.UserCodeTimeUncontended(prof, GPU))
+		if s >= 1 {
+			t.Fatalf("add_func GPU speedup = %v at N=%v, want < 1", s, n)
+		}
+	}
+}
+
+func TestCheckMemory(t *testing.T) {
+	p := DefaultParams()
+	small := Profile{DeviceMemBytes: 1e9, HostMemBytes: 1e9}
+	if err := p.CheckMemory(small, GPU); err != nil {
+		t.Fatalf("small task OOM: %v", err)
+	}
+	bigDev := Profile{DeviceMemBytes: 24e9, HostMemBytes: 24e9}
+	if err := p.CheckMemory(bigDev, GPU); err != ErrGPUOOM {
+		t.Fatalf("24 GB device footprint on GPU: err = %v, want ErrGPUOOM", err)
+	}
+	if err := p.CheckMemory(bigDev, CPU); err != nil {
+		t.Fatalf("24 GB host footprint on CPU: err = %v, want nil (fits 128 GB)", err)
+	}
+	bigHost := Profile{HostMemBytes: 200e9}
+	if err := p.CheckMemory(bigHost, CPU); err != ErrHostOOM {
+		t.Fatalf("200 GB host footprint: err = %v, want ErrHostOOM", err)
+	}
+}
+
+func TestSerialAlwaysOnCPU(t *testing.T) {
+	p := DefaultParams()
+	prof := Profile{Kernel: KernelKMeans, SerialOps: 5e7}
+	if got, want := p.SerialTime(prof), 1.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SerialTime = %v, want %v", got, want)
+	}
+}
+
+func TestCommBytesCPUZero(t *testing.T) {
+	p := DefaultParams()
+	prof := Profile{BytesIn: 100, BytesOut: 50}
+	if got := p.CommBytes(prof, CPU); got != 0 {
+		t.Fatalf("CPU CommBytes = %v, want 0", got)
+	}
+	if got := p.CommBytes(prof, GPU); got != 150 {
+		t.Fatalf("GPU CommBytes = %v, want 150", got)
+	}
+	if p.CommTimeUncontended(prof, CPU) != 0 {
+		t.Fatal("CPU comm time nonzero")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if CPU.String() != "CPU" || GPU.String() != "GPU" {
+		t.Fatal("DeviceKind stringer broken")
+	}
+	names := map[Kernel]string{
+		KernelMatmul: "matmul_func", KernelAdd: "add_func",
+		KernelKMeans: "partial_sum", KernelFMA: "fma_func", KernelGeneric: "generic",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("Kernel(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestSpeedupZeroDenominator(t *testing.T) {
+	if Speedup(1, 0) != 0 {
+		t.Fatal("Speedup with zero denominator should report 0")
+	}
+}

@@ -1,0 +1,34 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultParamsValidate(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	mutations := []func(*Params){
+		func(p *Params) { p.SerialRate = 0 },
+		func(p *Params) { p.PCIeBandwidth = -1 },
+		func(p *Params) { p.GPUMemBytes = math.NaN() },
+		func(p *Params) { p.SharedBandwidth = math.Inf(1) },
+		func(p *Params) { p.PCIeLatency = -1e-6 },
+		func(p *Params) { p.SchedFIFO = math.NaN() },
+		func(p *Params) { p.SoloThreadSpeedup = 0 },
+		func(p *Params) { p.Kernels[KernelMatmul].GPURate = 0 },
+		func(p *Params) { p.Kernels[KernelKMeans].SatThreads = -5 },
+	}
+	for i, mutate := range mutations {
+		p := DefaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d not caught", i)
+		}
+	}
+}

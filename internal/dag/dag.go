@@ -1,0 +1,335 @@
+// Package dag builds and analyzes the execution DAG of a task-based
+// workflow (§3.1 of the paper). Tasks are added in program order with
+// typed data parameters; edges are inferred automatically from data
+// dependencies, exactly like PyCOMPSs: a task reading a datum depends on
+// that datum's last writer (read-after-write), and a task writing a datum
+// depends on the previous writer (write-after-write). Write-after-read
+// hazards do not create edges because, as in COMPSs, each write conceptually
+// creates a new version of the datum (the d3v1, d5v2 … labels of the
+// paper's Figure 6); earlier readers keep the old version.
+//
+// The DAG's shape carries the paper's key structural features: its maximum
+// width is the degree of task-level parallelism and its height the degree
+// of task dependency (both appear in the Figure 11 correlation analysis).
+package dag
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Direction declares how a task uses a data parameter, mirroring
+// PyCOMPSs' IN/OUT/INOUT parameter annotations.
+type Direction int
+
+const (
+	// In marks data the task only reads.
+	In Direction = iota
+	// Out marks data the task creates or fully overwrites.
+	Out
+	// InOut marks data the task reads and updates in place.
+	InOut
+)
+
+func (d Direction) String() string {
+	switch d {
+	case In:
+		return "IN"
+	case Out:
+		return "OUT"
+	case InOut:
+		return "INOUT"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Param is one data parameter of a task: a datum name plus an access
+// direction. Datum names are application-chosen (e.g. "A[0,1]").
+type Param struct {
+	Data string
+	Dir  Direction
+}
+
+// Reads reports whether the parameter reads its datum.
+func (p Param) Reads() bool { return p.Dir == In || p.Dir == InOut }
+
+// Writes reports whether the parameter writes its datum.
+func (p Param) Writes() bool { return p.Dir == Out || p.Dir == InOut }
+
+// Task is a node of the DAG.
+type Task struct {
+	// ID is the task's generation order (0-based) — the key the FIFO
+	// scheduling policy sorts by.
+	ID int
+	// Name is the task type (e.g. "matmul_func"); per-type aggregation of
+	// metrics (§4.2) groups on it.
+	Name string
+	// Params are the data parameters that induced the task's edges.
+	Params []Param
+	// Payload carries runtime-specific data (cost profile, kernel
+	// function); the dag package never inspects it.
+	Payload any
+	// Level is the task's depth: 0 for source tasks, otherwise
+	// 1 + max(level of predecessors). Populated by Graph.Add.
+	Level int
+
+	deps  []int // predecessor task IDs, ascending, deduplicated
+	succs []int // successor task IDs in insertion order
+}
+
+// Deps returns the task's predecessor IDs (do not modify).
+func (t *Task) Deps() []int { return t.deps }
+
+// Succs returns the task's successor IDs (do not modify).
+func (t *Task) Succs() []int { return t.succs }
+
+// Graph is an execution DAG under construction. The zero value is not
+// usable; construct with New.
+type Graph struct {
+	tasks      []*Task
+	lastWriter map[string]int // datum -> task ID of last writer
+	versions   map[string]int // datum -> version count (for labels)
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{lastWriter: make(map[string]int), versions: make(map[string]int)}
+}
+
+// Add appends a task in generation order, inferring its dependencies from
+// the data parameters, and returns it. Edges always point from lower to
+// higher IDs, so the graph is acyclic by construction and insertion order
+// is a valid topological order.
+func (g *Graph) Add(name string, payload any, params ...Param) *Task {
+	t := &Task{ID: len(g.tasks), Name: name, Params: params, Payload: payload}
+	seen := make(map[int]bool)
+	for _, p := range params {
+		if p.Reads() || p.Writes() { // RAW and WAW both edge on the last writer
+			if w, ok := g.lastWriter[p.Data]; ok && !seen[w] {
+				seen[w] = true
+				t.deps = append(t.deps, w)
+			}
+		}
+	}
+	sort.Ints(t.deps)
+	level := 0
+	for _, d := range t.deps {
+		dep := g.tasks[d]
+		dep.succs = append(dep.succs, t.ID)
+		if dep.Level+1 > level {
+			level = dep.Level + 1
+		}
+	}
+	t.Level = level
+	for _, p := range params {
+		if p.Writes() {
+			g.lastWriter[p.Data] = t.ID
+			g.versions[p.Data]++
+		}
+	}
+	g.tasks = append(g.tasks, t)
+	return t
+}
+
+// Len returns the number of tasks.
+func (g *Graph) Len() int { return len(g.tasks) }
+
+// Task returns the task with the given ID.
+func (g *Graph) Task(id int) *Task { return g.tasks[id] }
+
+// Tasks returns all tasks in generation order (do not modify the slice).
+func (g *Graph) Tasks() []*Task { return g.tasks }
+
+// Version returns how many times the datum has been written — the vN
+// suffix in the paper's Figure 6 node labels.
+func (g *Graph) Version(data string) int { return g.versions[data] }
+
+// Levels groups task IDs by DAG level, index 0 being the sources.
+func (g *Graph) Levels() [][]int {
+	if len(g.tasks) == 0 {
+		return nil
+	}
+	maxLevel := 0
+	for _, t := range g.tasks {
+		if t.Level > maxLevel {
+			maxLevel = t.Level
+		}
+	}
+	levels := make([][]int, maxLevel+1)
+	for _, t := range g.tasks {
+		levels[t.Level] = append(levels[t.Level], t.ID)
+	}
+	return levels
+}
+
+// MaxWidth returns the largest number of tasks on one level: the paper's
+// "DAG maximum width" (degree of task parallelism).
+func (g *Graph) MaxWidth() int {
+	w := 0
+	for _, lvl := range g.Levels() {
+		if len(lvl) > w {
+			w = len(lvl)
+		}
+	}
+	return w
+}
+
+// MaxHeight returns the number of levels: the paper's "DAG maximum height"
+// (degree of task dependency).
+func (g *Graph) MaxHeight() int { return len(g.Levels()) }
+
+// Roots returns the IDs of tasks with no dependencies.
+func (g *Graph) Roots() []int {
+	var out []int
+	for _, t := range g.tasks {
+		if len(t.deps) == 0 {
+			out = append(out, t.ID)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: edges point forward (acyclicity),
+// dep/succ symmetry, and level consistency.
+func (g *Graph) Validate() error {
+	for _, t := range g.tasks {
+		want := 0
+		for _, d := range t.deps {
+			if d >= t.ID {
+				return fmt.Errorf("dag: task %d depends on later task %d", t.ID, d)
+			}
+			found := false
+			for _, s := range g.tasks[d].succs {
+				if s == t.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("dag: edge %d->%d missing successor record", d, t.ID)
+			}
+			if g.tasks[d].Level+1 > want {
+				want = g.tasks[d].Level + 1
+			}
+		}
+		if t.Level != want {
+			return fmt.Errorf("dag: task %d level %d, want %d", t.ID, t.Level, want)
+		}
+	}
+	return nil
+}
+
+// CountByName returns the number of tasks per task type.
+func (g *Graph) CountByName() map[string]int {
+	out := make(map[string]int)
+	for _, t := range g.tasks {
+		out[t.Name]++
+	}
+	return out
+}
+
+// DOT writes the graph in Graphviz format, one node per task colored by
+// task type — the rendering used to reproduce the paper's Figure 6.
+func (g *Graph) DOT(w io.Writer, title string) error {
+	var colors = []string{"lightblue", "white", "lightyellow", "lightpink", "lightgreen", "lightgray"}
+	colorOf := map[string]string{}
+	names := make([]string, 0)
+	for _, t := range g.tasks {
+		if _, ok := colorOf[t.Name]; !ok {
+			colorOf[t.Name] = colors[len(names)%len(colors)]
+			names = append(names, t.Name)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [style=filled, shape=circle];\n", title)
+	for _, t := range g.tasks {
+		fmt.Fprintf(&b, "  t%d [label=%q, fillcolor=%q];\n", t.ID, fmt.Sprintf("%d", t.ID), colorOf[t.Name])
+	}
+	for _, t := range g.tasks {
+		for _, d := range t.deps {
+			fmt.Fprintf(&b, "  t%d -> t%d;\n", d, t.ID)
+		}
+	}
+	fmt.Fprintf(&b, "  label=%q;\n}\n", title)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Summary renders a short per-level textual description of the DAG shape,
+// e.g. "L0: 16×matmul_func | L1: 8×add_func | ...".
+func (g *Graph) Summary() string {
+	var parts []string
+	for i, lvl := range g.Levels() {
+		byName := map[string]int{}
+		order := []string{}
+		for _, id := range lvl {
+			n := g.tasks[id].Name
+			if byName[n] == 0 {
+				order = append(order, n)
+			}
+			byName[n]++
+		}
+		var seg []string
+		for _, n := range order {
+			seg = append(seg, fmt.Sprintf("%d×%s", byName[n], n))
+		}
+		parts = append(parts, fmt.Sprintf("L%d: %s", i, strings.Join(seg, "+")))
+	}
+	return strings.Join(parts, " | ")
+}
+
+// CriticalPath returns the longest weighted path through the DAG and its
+// length, where weight(t) is the per-task cost supplied by the caller.
+// The path is returned as task IDs in execution order. With unit weights
+// this is the height; with service-time weights it is the span term of
+// Graham's bound — no schedule on any number of processors beats it.
+func (g *Graph) CriticalPath(weight func(*Task) float64) ([]int, float64) {
+	if len(g.tasks) == 0 {
+		return nil, 0
+	}
+	dist := make([]float64, len(g.tasks))
+	prev := make([]int, len(g.tasks))
+	best, bestEnd := -1.0, -1
+	for _, t := range g.tasks { // insertion order is topological
+		w := weight(t)
+		if w < 0 {
+			w = 0
+		}
+		d := w
+		prev[t.ID] = -1
+		for _, dep := range t.deps {
+			if dist[dep]+w > d {
+				d = dist[dep] + w
+				prev[t.ID] = dep
+			}
+		}
+		dist[t.ID] = d
+		if d > best {
+			best, bestEnd = d, t.ID
+		}
+	}
+	var path []int
+	for id := bestEnd; id >= 0; id = prev[id] {
+		path = append(path, id)
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, best
+}
+
+// TotalWeight sums weight(t) over all tasks: the work term of Graham's
+// bound.
+func (g *Graph) TotalWeight(weight func(*Task) float64) float64 {
+	var sum float64
+	for _, t := range g.tasks {
+		if w := weight(t); w > 0 {
+			sum += w
+		}
+	}
+	return sum
+}

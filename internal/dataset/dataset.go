@@ -1,0 +1,189 @@
+// Package dataset implements the block-partitioned matrix abstraction the
+// paper's programming model is built on (§3.5): an input dataset D(i×j) is
+// split into blocks B(m×n) organized in a grid G(k×l), with the partition
+// relationship of Eq. (1)-(2):
+//
+//	i = k·m,  j = l·n        (1)
+//	k = i/m,  l = j/n        (2)
+//
+// The grid dimension is inversely proportional to the block dimension,
+// which is the thread-level vs task-level parallelism trade-off at the
+// center of the paper. Like dislib's ds-array, partitions here tolerate
+// ragged edges: when the dataset dimension is not an exact multiple of the
+// block dimension the last row/column of blocks is smaller.
+//
+// Blocks can be lazy (shape metadata only — used when simulating the
+// paper-scale 8-100 GB datasets) or materialized with synthetic float64
+// content from a seeded, reproducible generator (used by the real-execution
+// backend and the examples).
+package dataset
+
+import (
+	"fmt"
+	"math"
+)
+
+// ElemSize is the size of one dataset element in bytes (float64, matching
+// the paper's double-precision NumPy arrays).
+const ElemSize = 8
+
+// Dataset describes a dense matrix D(i×j) of float64 values. It is a
+// descriptor: no data is attached until blocks are materialized.
+type Dataset struct {
+	// Name labels the dataset in traces and experiment outputs.
+	Name string
+	// Rows (i) and Cols (j) are the matrix dimensions.
+	Rows, Cols int64
+}
+
+// Elements returns i×j, the total number of matrix elements.
+func (d Dataset) Elements() int64 { return d.Rows * d.Cols }
+
+// SizeBytes returns the dataset's in-memory size.
+func (d Dataset) SizeBytes() int64 { return d.Elements() * ElemSize }
+
+func (d Dataset) String() string {
+	return fmt.Sprintf("%s(%dx%d, %s)", d.Name, d.Rows, d.Cols, FormatBytes(d.SizeBytes()))
+}
+
+// Validate checks the descriptor dimensions are positive.
+func (d Dataset) Validate() error {
+	if d.Rows <= 0 || d.Cols <= 0 {
+		return fmt.Errorf("dataset %q: non-positive shape %dx%d", d.Name, d.Rows, d.Cols)
+	}
+	return nil
+}
+
+// Partition is a concrete grid layout of a dataset: the result of choosing
+// a block dimension (the developer-controlled factor a) of Table 1).
+type Partition struct {
+	Dataset
+	// BlockRows (m) and BlockCols (n) are the nominal block dimensions;
+	// edge blocks may be smaller.
+	BlockRows, BlockCols int64
+	// GridRows (k) and GridCols (l) are the grid dimensions.
+	GridRows, GridCols int64
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// ByGrid partitions a dataset into a k×l grid, deriving the block dimension
+// from Eq. (1). This is how the paper's experiments are parameterized
+// ("grid dimension 4x4", "256x1", ...).
+func ByGrid(d Dataset, k, l int64) (Partition, error) {
+	if err := d.Validate(); err != nil {
+		return Partition{}, err
+	}
+	if k <= 0 || l <= 0 {
+		return Partition{}, fmt.Errorf("dataset %q: non-positive grid %dx%d", d.Name, k, l)
+	}
+	if k > d.Rows || l > d.Cols {
+		// Constraint 2 of §3.5: the grid cannot out-dimension the data.
+		return Partition{}, fmt.Errorf("dataset %q: grid %dx%d exceeds dataset %dx%d",
+			d.Name, k, l, d.Rows, d.Cols)
+	}
+	// Derive the block dimension from Eq. (1), then recompute the
+	// effective grid: with ragged datasets the requested grid may be
+	// unachievable with uniform blocks (e.g. 120 columns over a 32-wide
+	// grid yields 4-wide blocks, which need only 30 grid columns).
+	m, n := ceilDiv(d.Rows, k), ceilDiv(d.Cols, l)
+	return Partition{
+		Dataset:   d,
+		BlockRows: m, BlockCols: n,
+		GridRows: ceilDiv(d.Rows, m), GridCols: ceilDiv(d.Cols, n),
+	}, nil
+}
+
+// ByBlock partitions a dataset by nominal block dimension m×n, deriving the
+// grid from Eq. (2).
+func ByBlock(d Dataset, m, n int64) (Partition, error) {
+	if err := d.Validate(); err != nil {
+		return Partition{}, err
+	}
+	if m <= 0 || n <= 0 {
+		return Partition{}, fmt.Errorf("dataset %q: non-positive block %dx%d", d.Name, m, n)
+	}
+	if m > d.Rows || n > d.Cols {
+		return Partition{}, fmt.Errorf("dataset %q: block %dx%d exceeds dataset %dx%d",
+			d.Name, m, n, d.Rows, d.Cols)
+	}
+	return Partition{
+		Dataset:   d,
+		BlockRows: m, BlockCols: n,
+		GridRows: ceilDiv(d.Rows, m), GridCols: ceilDiv(d.Cols, n),
+	}, nil
+}
+
+// NumBlocks returns k×l, the grid size — which, at the paper's
+// one-block-per-task granularity (§3.5), is also the number of tasks
+// spawned per pass over the dataset.
+func (p Partition) NumBlocks() int64 { return p.GridRows * p.GridCols }
+
+// BlockBytes returns the nominal (full-size) block memory footprint — the
+// "block size MB" axis of every figure.
+func (p Partition) BlockBytes() int64 { return p.BlockRows * p.BlockCols * ElemSize }
+
+// GridString renders the grid dimension the way the paper labels it, e.g.
+// "4x4" or "256x1".
+func (p Partition) GridString() string { return fmt.Sprintf("%dx%d", p.GridRows, p.GridCols) }
+
+// BlockShape returns the actual dimensions of the block at grid position
+// (r, c), accounting for ragged edges.
+func (p Partition) BlockShape(r, c int64) (rows, cols int64, err error) {
+	if r < 0 || r >= p.GridRows || c < 0 || c >= p.GridCols {
+		return 0, 0, fmt.Errorf("dataset %q: block (%d,%d) outside grid %s", p.Name, r, c, p.GridString())
+	}
+	rows = p.BlockRows
+	if r == p.GridRows-1 {
+		rows = p.Rows - p.BlockRows*(p.GridRows-1)
+	}
+	cols = p.BlockCols
+	if c == p.GridCols-1 {
+		cols = p.Cols - p.BlockCols*(p.GridCols-1)
+	}
+	return rows, cols, nil
+}
+
+// Validate checks the partition against Eq. (1) within ragged-edge
+// tolerance: every element belongs to exactly one block.
+func (p Partition) Validate() error {
+	if err := p.Dataset.Validate(); err != nil {
+		return err
+	}
+	if p.GridRows <= 0 || p.GridCols <= 0 || p.BlockRows <= 0 || p.BlockCols <= 0 {
+		return fmt.Errorf("dataset %q: non-positive partition", p.Name)
+	}
+	// k·m must cover i but (k-1)·m must not: otherwise a grid row is empty.
+	if p.GridRows*p.BlockRows < p.Rows || (p.GridRows-1)*p.BlockRows >= p.Rows {
+		return fmt.Errorf("dataset %q: grid rows %d with block rows %d do not tile %d rows",
+			p.Name, p.GridRows, p.BlockRows, p.Rows)
+	}
+	if p.GridCols*p.BlockCols < p.Cols || (p.GridCols-1)*p.BlockCols >= p.Cols {
+		return fmt.Errorf("dataset %q: grid cols %d with block cols %d do not tile %d cols",
+			p.Name, p.GridCols, p.BlockCols, p.Cols)
+	}
+	return nil
+}
+
+// FormatBytes renders a byte count the way the paper labels sizes: binary
+// units when the value is a clean binary multiple (512MB block of the 8 GiB
+// Matmul dataset), decimal otherwise (39MB block of the 10 GB K-means
+// dataset, 313MB, ...).
+func FormatBytes(b int64) string {
+	format := func(dec, bin float64, unit string) string {
+		if r := math.Round(bin); math.Abs(bin-r) < 1e-6*math.Max(bin, 1) {
+			return fmt.Sprintf("%.0f%s", r, unit)
+		}
+		return fmt.Sprintf("%.0f%s", math.Round(dec), unit)
+	}
+	switch {
+	case b >= 1e9:
+		return format(float64(b)/1e9, float64(b)/(1<<30), "GB")
+	case b >= 1e6:
+		return format(float64(b)/1e6, float64(b)/(1<<20), "MB")
+	case b >= 1e3:
+		return format(float64(b)/1e3, float64(b)/(1<<10), "KB")
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"math/rand/v2"
+)
+
+// Distribution selects the synthetic data distribution. The paper uses a
+// uniform NumPy random dataset with a fixed random state for
+// reproducibility (§4.4.5), plus a 50%-skewed variant for the data-skew
+// experiment (§5.2.3, Figure 9b).
+type Distribution int
+
+const (
+	// Uniform draws each element uniformly from [0, 1).
+	Uniform Distribution = iota
+	// Skewed reproduces the paper's skew construction: the uniform
+	// distribution is adapted so that 50% of the elements are moved into
+	// narrow regions, forcing groups of similar values.
+	Skewed
+)
+
+func (d Distribution) String() string {
+	if d == Skewed {
+		return "50% skew"
+	}
+	return "0% skew"
+}
+
+// Generator produces reproducible synthetic block contents. Each block is
+// filled from a PRNG stream seeded by the generator seed and the block ID,
+// so a block's content is independent of materialization order — the
+// analog of the paper's fixed NumPy random state.
+type Generator struct {
+	Seed uint64
+	Dist Distribution
+	// SkewFraction is the fraction of elements concentrated into narrow
+	// regions when Dist == Skewed (the paper uses 0.5).
+	SkewFraction float64
+	// Regions is the number of narrow regions skewed elements collapse
+	// into.
+	Regions int
+}
+
+// NewGenerator returns a uniform generator with the given seed.
+func NewGenerator(seed uint64) *Generator {
+	return &Generator{Seed: seed, Dist: Uniform, SkewFraction: 0.5, Regions: 8}
+}
+
+// NewSkewedGenerator returns a generator reproducing the paper's 50%-skew
+// datasets.
+func NewSkewedGenerator(seed uint64) *Generator {
+	g := NewGenerator(seed)
+	g.Dist = Skewed
+	return g
+}
+
+func (g *Generator) rngFor(id BlockID) *rand.Rand {
+	// Derive a per-block stream: PCG keyed on (seed, block coordinates).
+	return rand.New(rand.NewPCG(g.Seed, uint64(id.Row)<<32^uint64(uint32(id.Col))+0x9e3779b97f4a7c15))
+}
+
+// Fill populates a materialized block according to the generator's
+// distribution. Lazy blocks are left untouched.
+func (g *Generator) Fill(b *Block) {
+	if b.Data == nil {
+		return
+	}
+	rng := g.rngFor(b.ID)
+	switch g.Dist {
+	case Uniform:
+		for i := range b.Data {
+			b.Data[i] = rng.Float64()
+		}
+	case Skewed:
+		regions := g.Regions
+		if regions < 1 {
+			regions = 1
+		}
+		for i := range b.Data {
+			v := rng.Float64()
+			if rng.Float64() < g.SkewFraction {
+				// Collapse the value into one of a few narrow bands:
+				// region center ± 0.5% of the domain.
+				center := (float64(rng.IntN(regions)) + 0.5) / float64(regions)
+				v = center + (v-0.5)*0.01
+			}
+			b.Data[i] = v
+		}
+	}
+}
+
+// FillBlobs populates a block with K-means-style clustered rows: each row
+// is drawn from one of k Gaussian-ish blobs in col-dimensional space. Used
+// by the K-means example so the algorithm has real structure to find.
+func (g *Generator) FillBlobs(b *Block, k int, spread float64) {
+	if b.Data == nil || k < 1 {
+		return
+	}
+	// Blob centers come from a stream independent of the block ID so all
+	// blocks share the same centers.
+	crng := rand.New(rand.NewPCG(g.Seed, 0xb10b5))
+	centers := make([][]float64, k)
+	for i := range centers {
+		centers[i] = make([]float64, b.Cols)
+		for j := range centers[i] {
+			centers[i][j] = crng.Float64() * 10
+		}
+	}
+	rng := g.rngFor(b.ID)
+	for r := int64(0); r < b.Rows; r++ {
+		c := centers[rng.IntN(k)]
+		for j := int64(0); j < b.Cols; j++ {
+			b.Set(r, j, c[j]+rng.NormFloat64()*spread)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package dataset
+
+// Preset datasets used throughout the paper's experiments (§4.4.5, §5.2.3,
+// §5.4). Sizes are exact: e.g. MatmulSmall is 32768×32768 float64 = 8 GiB.
+var (
+	// MatmulSmall is the 8 GB, 32K × 32K (1024M elements) Matmul dataset.
+	MatmulSmall = Dataset{Name: "matmul-8GB", Rows: 32768, Cols: 32768}
+	// MatmulLarge is the 32 GB, 64K × 64K (4B elements) Matmul dataset.
+	MatmulLarge = Dataset{Name: "matmul-32GB", Rows: 65536, Cols: 65536}
+	// MatmulSkew is the 2 GB, 16K × 16K (256M elements) skew-experiment
+	// dataset (Figure 9b).
+	MatmulSkew = Dataset{Name: "matmul-2GB", Rows: 16384, Cols: 16384}
+	// MatmulTiny is the 128 MB, 4000 × 4000 dataset added for the
+	// correlation analysis (§5.4).
+	MatmulTiny = Dataset{Name: "matmul-128MB", Rows: 4000, Cols: 4000}
+
+	// KMeansSmall is the 10 GB, 12.5M samples × 100 features dataset.
+	KMeansSmall = Dataset{Name: "kmeans-10GB", Rows: 12_500_000, Cols: 100}
+	// KMeansLarge is the 100 GB, 125M samples × 100 features dataset.
+	KMeansLarge = Dataset{Name: "kmeans-100GB", Rows: 125_000_000, Cols: 100}
+	// KMeansSkew is the 1 GB, 1.25M samples × 100 features skew-experiment
+	// dataset (Figure 9b).
+	KMeansSkew = Dataset{Name: "kmeans-1GB", Rows: 1_250_000, Cols: 100}
+	// KMeansTiny is the 100 MB, 125K samples × 100 features dataset added
+	// for the correlation analysis (§5.4).
+	KMeansTiny = Dataset{Name: "kmeans-100MB", Rows: 125_000, Cols: 100}
+)
+
+// MatmulGrids are the grid dimensions the paper sweeps for Matmul (g×g).
+var MatmulGrids = []int64{1, 2, 4, 8, 16}
+
+// KMeansGrids are the grid dimensions the paper sweeps for K-means (g×1).
+var KMeansGrids = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}

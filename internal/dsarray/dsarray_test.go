@@ -1,0 +1,216 @@
+package dsarray
+
+import (
+	"math"
+	"testing"
+
+	"wfsim/internal/costmodel"
+	"wfsim/internal/dataset"
+	"wfsim/internal/runtime"
+)
+
+func smallDS(rows, cols int64) dataset.Dataset {
+	return dataset.Dataset{Name: "t", Rows: rows, Cols: cols}
+}
+
+// naive materializes the full matrix of an array from a result store.
+func naive(t *testing.T, store *runtime.Store, a *Array) [][]float64 {
+	t.Helper()
+	p := a.Partition()
+	out := make([][]float64, p.Rows)
+	for i := range out {
+		out[i] = make([]float64, p.Cols)
+	}
+	for r := int64(0); r < p.GridRows; r++ {
+		for c := int64(0); c < p.GridCols; c++ {
+			b := store.MustGet(a.Key(r, c))
+			for i := int64(0); i < b.Rows; i++ {
+				for j := int64(0); j < b.Cols; j++ {
+					out[r*p.BlockRows+i][c*p.BlockCols+j] = b.At(i, j)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestAddScaleTranspose(t *testing.T) {
+	ctx := New("ops", true)
+	a, err := ctx.Random(smallDS(60, 40), 3, 2, dataset.NewGenerator(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.Random(smallDS(60, 40), 3, 2, dataset.NewGenerator(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := sum.Scale(2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := scaled.Transpose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runtime.RunLocal(ctx.Workflow(), runtime.LocalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma := naive(t, res.Store, a)
+	mb := naive(t, res.Store, b)
+	mt := naive(t, res.Store, tr)
+	if len(mt) != 40 || len(mt[0]) != 60 {
+		t.Fatalf("transpose shape = %dx%d, want 40x60", len(mt), len(mt[0]))
+	}
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 40; j++ {
+			want := 2.5 * (ma[i][j] + mb[i][j])
+			if math.Abs(mt[j][i]-want) > 1e-9 {
+				t.Fatalf("t[%d][%d] = %v, want %v", j, i, mt[j][i], want)
+			}
+		}
+	}
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	ctx := New("mm", true)
+	a, err := ctx.Random(smallDS(48, 36), 3, 3, dataset.NewGenerator(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.Random(smallDS(36, 24), 3, 2, dataset.NewGenerator(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := a.MatMul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runtime.RunLocal(ctx.Workflow(), runtime.LocalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, mb, mc := naive(t, res.Store, a), naive(t, res.Store, b), naive(t, res.Store, c)
+	for i := 0; i < 48; i++ {
+		for j := 0; j < 24; j++ {
+			var want float64
+			for k := 0; k < 36; k++ {
+				want += ma[i][k] * mb[k][j]
+			}
+			if math.Abs(mc[i][j]-want) > 1e-6 {
+				t.Fatalf("c[%d][%d] = %v, want %v", i, j, mc[i][j], want)
+			}
+		}
+	}
+}
+
+func TestMatMulDAGStructure(t *testing.T) {
+	// Metadata-only context at paper scale: dislib task structure.
+	ctx := New("mm-sim", false)
+	a, err := ctx.Random(dataset.MatmulSmall, 4, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.Random(dataset.MatmulSmall, 4, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.MatMul(b); err != nil {
+		t.Fatal(err)
+	}
+	counts := ctx.Workflow().Graph.CountByName()
+	if counts["matmul_func"] != 64 || counts["add_func"] != 48 {
+		t.Fatalf("counts = %v, want 64 matmul + 48 add (Figure 6b)", counts)
+	}
+	// The workflow simulates on the cluster.
+	res, err := runtime.RunSim(ctx.Workflow(), runtime.SimConfig{Device: costmodel.GPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("zero makespan")
+	}
+}
+
+func TestSum(t *testing.T) {
+	ctx := New("sum", true)
+	a, err := ctx.Random(smallDS(50, 20), 5, 2, dataset.NewGenerator(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := a.Sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runtime.RunLocal(ctx.Workflow(), runtime.LocalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for _, row := range naive(t, res.Store, a) {
+		for _, v := range row {
+			want += v
+		}
+	}
+	got := res.Store.MustGet(key).Data[0]
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestShapeErrors(t *testing.T) {
+	ctx := New("err", false)
+	a, _ := ctx.Random(smallDS(40, 40), 2, 2, nil)
+	b, _ := ctx.Random(smallDS(40, 20), 2, 2, nil)
+	if _, err := a.Add(b); err == nil {
+		t.Error("mismatched Add accepted")
+	}
+	c, _ := ctx.Random(smallDS(30, 40), 3, 2, nil)
+	if _, err := a.MatMul(c); err == nil {
+		t.Error("mismatched MatMul accepted")
+	}
+}
+
+func TestMaterializationBudget(t *testing.T) {
+	ctx := New("budget", true)
+	ctx.SetBudget(1000)
+	if _, err := ctx.Random(smallDS(1000, 1000), 2, 2, nil); err == nil {
+		t.Error("over-budget materialization accepted")
+	}
+}
+
+func TestRaggedOps(t *testing.T) {
+	// 50x50 over 3x3 grid: ragged blocks through a full expression chain.
+	ctx := New("ragged", true)
+	a, err := ctx.Random(smallDS(50, 50), 3, 3, dataset.NewGenerator(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, err := a.Transpose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gram, err := at.MatMul(a) // aᵀ·a is symmetric PSD
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runtime.RunLocal(ctx.Workflow(), runtime.LocalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := naive(t, res.Store, gram)
+	for i := range g {
+		if g[i][i] <= 0 {
+			t.Fatalf("gram diagonal %d = %v, want positive", i, g[i][i])
+		}
+		for j := range g[i] {
+			if math.Abs(g[i][j]-g[j][i]) > 1e-6 {
+				t.Fatalf("gram not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"testing"
+
+	"wfsim/internal/apps/kmeans"
+	"wfsim/internal/apps/matmul"
+	"wfsim/internal/costmodel"
+	"wfsim/internal/dataset"
+	"wfsim/internal/runtime"
+	"wfsim/internal/sched"
+	"wfsim/internal/storage"
+)
+
+// Ablation studies for the design choices DESIGN.md calls out. Each runs
+// as both a test (asserting the design choice matters in the expected
+// direction) and a benchmark (reporting the ablated metric).
+
+// AblationOccupancy removes the GPU occupancy saturation (SatThreads → 0:
+// every kernel runs at peak rate). Without it, the Figure 8 "speedup
+// scales with block size" shape collapses to a flat line — demonstrating
+// that the saturation term, not the transfer model, produces the paper's
+// scaling.
+func ablationOccupancy(t testing.TB) (withSat, withoutSat float64) {
+	ratioAcrossBlocks := func(params costmodel.Params) float64 {
+		speedupAt := func(grid int64) float64 {
+			prof, _ := matmul.Profiles(32768 / grid)
+			return costmodel.Speedup(
+				params.UserCodeTimeUncontended(prof, costmodel.CPU),
+				params.UserCodeTimeUncontended(prof, costmodel.GPU))
+		}
+		return speedupAt(2) / speedupAt(16) // coarse vs fine block speedup ratio
+	}
+	withSat = ratioAcrossBlocks(costmodel.DefaultParams())
+	flat := costmodel.DefaultParams()
+	for k := range flat.Kernels {
+		flat.Kernels[k].SatThreads = 0
+	}
+	withoutSat = ratioAcrossBlocks(flat)
+	return withSat, withoutSat
+}
+
+func TestAblationOccupancy(t *testing.T) {
+	withSat, withoutSat := ablationOccupancy(t)
+	if withSat < 2 {
+		t.Errorf("occupancy model: coarse/fine speedup ratio = %.2f, want > 2 (Figure 8 scaling)", withSat)
+	}
+	if withoutSat > 1.5 {
+		t.Errorf("without occupancy the ratio should flatten, got %.2f", withoutSat)
+	}
+}
+
+func BenchmarkAblationOccupancy(b *testing.B) {
+	var withSat, withoutSat float64
+	for i := 0; i < b.N; i++ {
+		withSat, withoutSat = ablationOccupancy(b)
+	}
+	b.ReportMetric(withSat, "scaling-with-occupancy")
+	b.ReportMetric(withoutSat, "scaling-without-occupancy")
+}
+
+// AblationScheduler compares all four policies on the locality-sensitive
+// configuration (K-means, local disks): locality and generation order
+// should be competitive; random placement must not beat the informed
+// policies by any margin that matters.
+func ablationScheduler(t testing.TB) map[sched.Policy]float64 {
+	out := map[sched.Policy]float64{}
+	for _, pol := range []sched.Policy{sched.FIFO, sched.Locality, sched.LIFO, sched.Random} {
+		wf, err := kmeans.Build(kmeans.Config{
+			Dataset: dataset.KMeansSmall, Grid: 64, Clusters: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := runtime.RunSim(wf, runtime.SimConfig{
+			Storage: storage.Local, Policy: pol, Device: costmodel.CPU, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[pol] = res.Makespan
+	}
+	return out
+}
+
+func TestAblationScheduler(t *testing.T) {
+	m := ablationScheduler(t)
+	for pol, makespan := range m {
+		if makespan <= 0 {
+			t.Fatalf("%v produced zero makespan", pol)
+		}
+	}
+	// The informed policies must be within 2x of each other; random may
+	// trail but must complete.
+	if m[sched.Locality] > 2*m[sched.FIFO] || m[sched.FIFO] > 2*m[sched.Locality] {
+		t.Errorf("informed policies diverge: fifo=%v locality=%v", m[sched.FIFO], m[sched.Locality])
+	}
+}
+
+func BenchmarkAblationScheduler(b *testing.B) {
+	var m map[sched.Policy]float64
+	for i := 0; i < b.N; i++ {
+		m = ablationScheduler(b)
+	}
+	b.ReportMetric(m[sched.FIFO], "fifo-makespan-s")
+	b.ReportMetric(m[sched.Locality], "locality-makespan-s")
+	b.ReportMetric(m[sched.LIFO], "lifo-makespan-s")
+	b.ReportMetric(m[sched.Random], "random-makespan-s")
+}
+
+// AblationGPFS sweeps the calibrated shared-storage bandwidth. The Figure 1
+// parallel-task inversion depends on the I/O floor: a slow GPFS bounds CPU
+// and GPU runs alike (both wait for the same 10 GB), masking the GPU's
+// 32-slot serialization, while a fast GPFS exposes it. Faster storage
+// therefore *deepens* the GPU loss — documenting the sensitivity of the
+// headline calibration and why the shared-disk bandwidth is the knob that
+// places the measured −1.4× near the paper's −1.2×.
+func ablationGPFS(t testing.TB, bandwidth float64) float64 {
+	params := costmodel.DefaultParams()
+	params.SharedBandwidth = bandwidth
+	span := func(dev costmodel.DeviceKind) float64 {
+		wf, err := kmeans.Build(kmeans.Config{
+			Dataset: dataset.KMeansSmall, Grid: 256, Clusters: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := runtime.RunSim(wf, runtime.SimConfig{Device: dev, Params: &params})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	return span(costmodel.CPU) / span(costmodel.GPU) // parallel-task speedup
+}
+
+func TestAblationGPFS(t *testing.T) {
+	calibrated := ablationGPFS(t, costmodel.DefaultParams().SharedBandwidth)
+	fast := ablationGPFS(t, 4*costmodel.DefaultParams().SharedBandwidth)
+	slow := ablationGPFS(t, costmodel.DefaultParams().SharedBandwidth/4)
+	if calibrated >= 1 {
+		t.Errorf("calibrated GPFS: GPU should lose (speedup %.2f)", calibrated)
+	}
+	if fast >= calibrated {
+		t.Errorf("faster GPFS should expose the 32-slot serialization and deepen the loss: %.2f -> %.2f",
+			calibrated, fast)
+	}
+	if slow <= calibrated {
+		t.Errorf("slower GPFS should mask the asymmetry and shrink the loss: %.2f -> %.2f",
+			calibrated, slow)
+	}
+}
+
+func BenchmarkAblationGPFS(b *testing.B) {
+	var calibrated, fast, slow float64
+	base := costmodel.DefaultParams().SharedBandwidth
+	for i := 0; i < b.N; i++ {
+		calibrated = ablationGPFS(b, base)
+		fast = ablationGPFS(b, 4*base)
+		slow = ablationGPFS(b, base/4)
+	}
+	b.ReportMetric(calibrated, "ptask-speedup-calibrated")
+	b.ReportMetric(fast, "ptask-speedup-4x-gpfs")
+	b.ReportMetric(slow, "ptask-speedup-quarter-gpfs")
+}
+
+// AblationReservation: the GPU whole-task reservation is what caps GPU
+// task parallelism at 32 — verified indirectly: with as many GPUs as cores
+// the inversion disappears.
+func TestAblationGPUCount(t *testing.T) {
+	span := func(gpusPerNode int, dev costmodel.DeviceKind) float64 {
+		wf, err := kmeans.Build(kmeans.Config{
+			Dataset: dataset.KMeansSmall, Grid: 256, Clusters: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := runtime.RunSim(wf, runtime.SimConfig{
+			Cluster: clusterSpec(8, 16, gpusPerNode),
+			Device:  dev,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	// Paper topology: GPU loses.
+	if s := span(4, costmodel.CPU) / span(4, costmodel.GPU); s >= 1 {
+		t.Errorf("4 GPUs/node: GPU should lose (%.2f)", s)
+	}
+	// Hypothetical 16 GPUs/node (one per core): GPU should win — the
+	// asymmetry, not the device, caused the inversion.
+	if s := span(16, costmodel.CPU) / span(16, costmodel.GPU); s <= 1 {
+		t.Errorf("16 GPUs/node: GPU should win (%.2f)", s)
+	}
+}

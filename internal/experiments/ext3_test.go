@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+func TestRenderExt3(t *testing.T) {
+	out := renderOf(t, "ext3")
+	assertContains(t, out,
+		"resource heterogeneity",
+		"node-0 speed",
+		"task generation order",
+		"data locality",
+	)
+}
+
+func TestExt3StragglerShapes(t *testing.T) {
+	r := mustRun(t, "ext3").(*Ext3Result)
+	byKey := map[[2]interface{}]Ext3Row{}
+	for _, row := range r.Rows {
+		byKey[[2]interface{}{row.SlowFactor, row.Policy}] = row
+	}
+	for _, pol := range []interface{}{r.Rows[0].Policy, r.Rows[1].Policy} {
+		uniform := byKey[[2]interface{}{1.0, pol}]
+		half := byKey[[2]interface{}{0.5, pol}]
+		quarter := byKey[[2]interface{}{0.25, pol}]
+		// Makespan grows with straggler severity...
+		if !(uniform.MakespanCPU < half.MakespanCPU && half.MakespanCPU < quarter.MakespanCPU) {
+			t.Errorf("%v: makespan not monotone in straggler severity: %v %v %v",
+				pol, uniform.MakespanCPU, half.MakespanCPU, quarter.MakespanCPU)
+		}
+		// ...but sub-linearly: a 4x slower node must not quadruple it
+		// (load-aware placement routes around the straggler).
+		if quarter.MakespanCPU > 2.5*uniform.MakespanCPU {
+			t.Errorf("%v: straggler damage unbounded: %v -> %v",
+				pol, uniform.MakespanCPU, quarter.MakespanCPU)
+		}
+		// Utilization drops: the paper's resource wastage.
+		if quarter.CoreUtil >= uniform.CoreUtil {
+			t.Errorf("%v: straggler should waste capacity (util %v -> %v)",
+				pol, uniform.CoreUtil, quarter.CoreUtil)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"wfsim/internal/cluster"
+	"wfsim/internal/dataset"
+	"wfsim/internal/tables"
+)
+
+// Fig1Result reproduces Figure 1: the performance of distributed K-means
+// at different processing stages on CPUs and GPUs. The paper's headline
+// numbers — the motivating example — are a 5.69× GPU speedup on the
+// parallel fraction alone, collapsing to 1.24× for the whole task user
+// code, and inverting to −1.20× (GPU loses) once 256 tasks are distributed
+// over 128 cores vs 32 GPUs.
+type Fig1Result struct {
+	// Single-task stage times (1 CPU core vs 1 GPU device).
+	SingleCPU, SingleGPU Cell
+	// Parallel-tasks cells (full cluster: 128 cores, 32 GPUs, 256 tasks).
+	ParCPU, ParGPU Cell
+
+	// The three headline speedups.
+	PFracSpeedup    float64
+	UserCodeSpeedup float64
+	PTaskSpeedup    float64
+}
+
+func runFig1() (Result, error) {
+	base := CellConfig{
+		Algorithm: KMeans,
+		Dataset:   dataset.KMeansSmall, // 10 GB
+		Grid:      256,                 // 256 tasks
+		Clusters:  10,
+	}
+
+	// Single task: 1 CPU core and 1 GPU device (§1 footnote 1); user-code
+	// metrics are per-task averages, so one iteration suffices.
+	single := base
+	single.Cluster = cluster.Spec{Name: "single", Nodes: 1, CoresPerNode: 1, GPUsPerNode: 1}
+	single.Iterations = 1
+	sCPU, sGPU, err := runPairCells(single)
+	if err != nil {
+		return nil, err
+	}
+
+	// Parallel tasks: all 128 cores and 32 GPU devices.
+	pCPU, pGPU, err := runPairCells(base)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Fig1Result{
+		SingleCPU: sCPU, SingleGPU: sGPU,
+		ParCPU: pCPU, ParGPU: pGPU,
+		PFracSpeedup:    Speedup(sCPU.PFracMean, sGPU.PFracMean),
+		UserCodeSpeedup: Speedup(sCPU.UserMean, sGPU.UserMean),
+		PTaskSpeedup:    Speedup(pCPU.PTaskMean, pGPU.PTaskMean),
+	}, nil
+}
+
+func runPairCells(cfg CellConfig) (cpu, gpu Cell, err error) {
+	cpu, gpu, err = RunPair(cfg)
+	if err != nil {
+		return
+	}
+	if cpu.OOM || gpu.OOM {
+		err = fmt.Errorf("fig1: unexpected OOM (cpu=%v gpu=%v)", cpu.OOM, gpu.OOM)
+	}
+	return
+}
+
+// Render implements Result.
+func (r *Fig1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 1: Performance of distributed K-means at different processing stages\n")
+	b.WriteString("(10 GB dataset, 256 tasks, 10 clusters; cluster: 128 CPU cores, 32 GPUs)\n\n")
+
+	t := tables.New("Stage times (seconds)",
+		"stage", "CPU", "GPU", "GPU speedup over CPU")
+	t.AddRow("parallel fraction (single task)",
+		tables.FormatFloat(r.SingleCPU.PFracMean),
+		tables.FormatFloat(r.SingleGPU.PFracMean),
+		tables.FormatSpeedup(r.PFracSpeedup))
+	t.AddRow("task user code (single task)",
+		tables.FormatFloat(r.SingleCPU.UserMean),
+		tables.FormatFloat(r.SingleGPU.UserMean),
+		tables.FormatSpeedup(r.UserCodeSpeedup))
+	t.AddRow("parallel tasks (256 tasks)",
+		tables.FormatFloat(r.ParCPU.PTaskMean),
+		tables.FormatFloat(r.ParGPU.PTaskMean),
+		tables.FormatSpeedup(r.PTaskSpeedup))
+	b.WriteString(t.String())
+
+	b.WriteString(fmt.Sprintf("\nPaper reports: 5.69x / 1.24x / -1.20x — measured: %s / %s / %s\n",
+		tables.FormatSpeedup(r.PFracSpeedup),
+		tables.FormatSpeedup(r.UserCodeSpeedup),
+		tables.FormatSpeedup(r.PTaskSpeedup)))
+
+	d := tables.New("Single-task stage detail (seconds per task)",
+		"device", "deser/core", "serial", "parallel", "comm", "user code")
+	for _, c := range []Cell{r.SingleCPU, r.SingleGPU} {
+		d.AddRow(c.Device.String(),
+			tables.FormatFloat(c.DeserPerCore),
+			tables.FormatFloat(c.SerialMean),
+			tables.FormatFloat(c.PFracMean),
+			tables.FormatFloat(c.CommMean),
+			tables.FormatFloat(c.UserMean))
+	}
+	b.WriteString("\n" + d.String())
+	return b.String()
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Figure 1: distributed K-means at different processing stages on CPUs and GPUs",
+		Run:   runFig1,
+	})
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"wfsim/internal/dataset"
+	"wfsim/internal/tables"
+)
+
+// Fig8Result reproduces Figure 8: the effect of task computational
+// complexity in Matmul. The O(N³) matmul_func scales its GPU speedup with
+// block size up to ≈21×, while the O(N²) add_func — two orders of
+// magnitude less complex — is dominated by CPU-GPU communication and the
+// GPU loses at every block size.
+type Fig8Result struct {
+	// Variant distinguishes the dislib implementation (Figure 8) from the
+	// FMA generalizability experiment (Figure 12), which shares this
+	// harness per §5.5.1.
+	Variant Algorithm
+	Sweeps  []DatasetSweep
+}
+
+func runFig8(alg Algorithm) (Result, error) {
+	r := &Fig8Result{Variant: alg}
+	for _, ds := range []dataset.Dataset{dataset.MatmulSmall, dataset.MatmulLarge} {
+		sw, err := runSweep(alg, ds, dataset.MatmulGrids, 0)
+		if err != nil {
+			return nil, err
+		}
+		r.Sweeps = append(r.Sweeps, sw)
+		if alg == MatmulFMA {
+			break // Figure 12 uses the 8 GB dataset only
+		}
+	}
+	return r, nil
+}
+
+// AddFuncSpeedup returns the add_func user-code speedup of a point, NaN
+// when unavailable (OOM or single-block grid with no add tasks).
+func AddFuncSpeedup(p SweepPoint) float64 {
+	if p.CPU.OOM || p.GPU.OOM || p.CPU.SecondUser == 0 || p.GPU.SecondUser == 0 {
+		return math.NaN()
+	}
+	return Speedup(p.CPU.SecondUser, p.GPU.SecondUser)
+}
+
+// Render implements Result.
+func (r *Fig8Result) Render() string {
+	var b strings.Builder
+	head := r.Variant.HeadlineTask()
+	if r.Variant == MatmulFMA {
+		b.WriteString("Figure 12: Analysis of task user code in Matmul FMA (8 GB)\n\n")
+	} else {
+		b.WriteString("Figure 8: Task computational complexity in Matmul (8 GB left, 32 GB right)\n\n")
+	}
+	for _, sw := range r.Sweeps {
+		fmt.Fprintf(&b, "Dataset %s\n", sw.Dataset)
+		t := tables.New("User-code GPU speedup over CPU per task type",
+			"block size", head, "add_func", "")
+		for _, p := range sw.Points {
+			userSpd := math.NaN()
+			if !p.CPU.OOM && !p.GPU.OOM {
+				userSpd = Speedup(p.CPU.UserMean, p.GPU.UserMean)
+			}
+			addCell := "-"
+			if r.Variant == Matmul {
+				addCell = tables.FormatSpeedup(AddFuncSpeedup(p))
+			}
+			t.AddRow(
+				dataset.FormatBytes(p.CPU.BlockBytes),
+				tables.FormatSpeedup(userSpd),
+				addCell,
+				p.OOMLabel(),
+			)
+		}
+		b.WriteString(t.String())
+
+		d := tables.New("Average time per task (s)",
+			"block size", "P.Frac CPU", "P.Frac GPU", "CPU-GPU Comm")
+		for _, p := range sw.Points {
+			if p.CPU.OOM || p.GPU.OOM {
+				d.AddRow(dataset.FormatBytes(p.CPU.BlockBytes), p.OOMLabel(), "", "")
+				continue
+			}
+			d.AddRow(
+				dataset.FormatBytes(p.CPU.BlockBytes),
+				tables.FormatFloat(p.CPU.PFracMean),
+				tables.FormatFloat(p.GPU.PFracMean),
+				tables.FormatFloat(p.GPU.CommMean),
+			)
+		}
+		b.WriteString(d.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Figure 8: task computational complexity in Matmul (matmul_func vs add_func)",
+		Run:   func() (Result, error) { return runFig8(Matmul) },
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Figure 12: analysis of task user code in Matmul FMA",
+		Run:   func() (Result, error) { return runFig8(MatmulFMA) },
+	})
+}

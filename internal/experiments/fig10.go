@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"wfsim/internal/dataset"
+	"wfsim/internal/sched"
+	"wfsim/internal/storage"
+	"wfsim/internal/tables"
+)
+
+// StorageSchedCombo is one of Figure 10's four panel configurations.
+type StorageSchedCombo struct {
+	Storage storage.Architecture
+	Policy  sched.Policy
+}
+
+func (c StorageSchedCombo) String() string {
+	return fmt.Sprintf("%s, %s", c.Storage, c.Policy)
+}
+
+// Fig10Combos are the four panels of Figure 10, in the paper's order.
+var Fig10Combos = []StorageSchedCombo{
+	{storage.Local, sched.FIFO},
+	{storage.Local, sched.Locality},
+	{storage.Shared, sched.FIFO},
+	{storage.Shared, sched.Locality},
+}
+
+// Fig10Point is one (grid × combo) measurement pair.
+type Fig10Point struct {
+	Combo    StorageSchedCombo
+	CPU, GPU Cell
+}
+
+// Fig10Result reproduces Figure 10: parallel-task average time across
+// storage architectures and scheduling policies. The paper's findings: on
+// local disks policy changes barely matter (O5); on shared disk they are
+// more visible, especially for low-complexity tasks (K-means, O6); local
+// is faster than shared overall; times grow for coarse grains until the
+// single-task point where distribution overheads vanish; Matmul's largest
+// block OOMs the GPU.
+type Fig10Result struct {
+	Algorithm Algorithm
+	Dataset   dataset.Dataset
+	Grids     []int64
+	// Points[comboIdx][gridIdx]
+	Points [][]Fig10Point
+}
+
+func runFig10(alg Algorithm) (Result, error) {
+	r := &Fig10Result{Algorithm: alg}
+	if alg == Matmul {
+		r.Dataset, r.Grids = dataset.MatmulSmall, dataset.MatmulGrids
+	} else {
+		r.Dataset, r.Grids = dataset.KMeansSmall, dataset.KMeansGrids
+	}
+	for _, combo := range Fig10Combos {
+		var row []Fig10Point
+		for _, g := range r.Grids {
+			cpu, gpu, err := RunPair(CellConfig{
+				Algorithm: alg, Dataset: r.Dataset, Grid: g, Clusters: 10,
+				Storage: combo.Storage, Policy: combo.Policy,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %s grid %d: %w", combo, g, err)
+			}
+			row = append(row, Fig10Point{Combo: combo, CPU: cpu, GPU: gpu})
+		}
+		r.Points = append(r.Points, row)
+	}
+	return r, nil
+}
+
+// Render implements Result.
+func (r *Fig10Result) Render() string {
+	var b strings.Builder
+	fig := "10a"
+	if r.Algorithm == KMeans {
+		fig = "10b"
+	}
+	fmt.Fprintf(&b, "Figure %s: storage architecture × scheduling policy, %s (%s)\n\n",
+		fig, r.Algorithm, r.Dataset)
+	for ci, combo := range Fig10Combos {
+		t := tables.New(fmt.Sprintf("%s — parallel tasks average time (s)", combo),
+			"block size (grid)", "CPU", "GPU", "")
+		for _, p := range r.Points[ci] {
+			label := fmt.Sprintf("%s (%s)", dataset.FormatBytes(p.CPU.BlockBytes), p.CPU.GridString)
+			cpuS, gpuS := tables.FormatFloat(p.CPU.PTaskMean), tables.FormatFloat(p.GPU.PTaskMean)
+			note := ""
+			if p.GPU.OOM {
+				gpuS, note = "-", "GPU OOM"
+			}
+			if p.CPU.OOM {
+				cpuS = "-"
+			}
+			t.AddRow(label, cpuS, gpuS, note)
+		}
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig10a",
+		Title: "Figure 10a: storage × scheduler effects on Matmul (8 GB)",
+		Run:   func() (Result, error) { return runFig10(Matmul) },
+	})
+	register(Experiment{
+		ID:    "fig10b",
+		Title: "Figure 10b: storage × scheduler effects on K-means (10 GB)",
+		Run:   func() (Result, error) { return runFig10(KMeans) },
+	})
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Result is a rendered experiment outcome.
+type Result interface {
+	// Render returns the paper-style textual tables/series.
+	Render() string
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	// ID is the CLI name (fig1, fig7a, ...).
+	ID string
+	// Title is the paper artifact's caption-level description.
+	Title string
+	// Run executes the experiment at paper scale.
+	Run func() (Result, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (try `list`)", id)
+	}
+	return e, nil
+}
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

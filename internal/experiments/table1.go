@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"strings"
+
+	"wfsim/internal/tables"
+)
+
+// Factor is one row of the paper's Table 1: a factor affecting task-based
+// workflow performance, its dimension, derived parameters, and the system
+// functions it affects.
+type Factor struct {
+	Dimension  string
+	Name       string
+	Parameters []string
+	// Affects lists the system functions (§5's overhead taxonomy) the
+	// factor influences: device speedup, storage I/O, network I/O,
+	// CPU-GPU data transfer, task scheduling.
+	Affects []string
+}
+
+// Factors is the paper's Table 1 as data: the factor taxonomy every
+// experiment in this package sweeps.
+var Factors = []Factor{
+	{
+		Dimension:  "Task algorithm",
+		Name:       "block dimension",
+		Parameters: []string{"block size", "grid dimension", "DAG shape"},
+		Affects:    []string{"device speedup", "storage I/O", "network I/O", "CPU-GPU data transfer", "task scheduling"},
+	},
+	{
+		Dimension: "Task algorithm",
+		Name:      "computational complexity",
+		Affects:   []string{"device speedup"},
+	},
+	{
+		Dimension: "Task algorithm",
+		Name:      "parallel fraction",
+		Affects:   []string{"device speedup"},
+	},
+	{
+		Dimension: "Task algorithm",
+		Name:      "algorithm-specific parameter",
+		Affects:   []string{"device speedup"},
+	},
+	{
+		Dimension:  "Dataset",
+		Name:       "dataset dimension",
+		Parameters: []string{"dataset size"},
+		Affects:    []string{"device speedup", "storage I/O", "network I/O", "CPU-GPU data transfer", "task scheduling"},
+	},
+	{
+		Dimension:  "Resources",
+		Name:       "processor type (CPU or GPU)",
+		Parameters: []string{"maximum #CPU cores available depending on the processor type"},
+		Affects:    []string{"device speedup"},
+	},
+	{
+		Dimension: "Resources",
+		Name:      "storage architecture",
+		Affects:   []string{"storage I/O"},
+	},
+	{
+		Dimension: "System",
+		Name:      "scheduling policy",
+		Affects:   []string{"network I/O", "task scheduling"},
+	},
+}
+
+// Table1Result renders the factor taxonomy.
+type Table1Result struct{}
+
+// Render implements Result.
+func (Table1Result) Render() string {
+	t := tables.New("Table 1: Factors and parameters",
+		"dimension", "factor", "parameters", "system functions affected")
+	for _, f := range Factors {
+		t.AddRow(f.Dimension, f.Name, strings.Join(f.Parameters, ", "), strings.Join(f.Affects, ", "))
+	}
+	return t.String()
+}
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Table 1: factors and parameters affecting task-based workflow performance",
+		Run:   func() (Result, error) { return Table1Result{}, nil },
+	})
+}

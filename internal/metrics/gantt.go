@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ganttGlyphs maps each stage to the character drawn in timeline cells.
+var ganttGlyphs = [numStages]byte{
+	StageSched:    '.',
+	StageDeser:    'd',
+	StageCommIn:   'c',
+	StageParallel: 'P',
+	StageSerial:   's',
+	StageCommOut:  'c',
+	StageSer:      'w',
+}
+
+// WriteGantt renders an ASCII per-core timeline of the collected records:
+// one row per core (busiest first, up to maxCores), one column per time
+// bin, each cell showing the stage that occupied most of the bin. It is
+// the terminal equivalent of a Paraver timeline view and makes load
+// imbalance and (de)serialization dominance visible at a glance.
+func (c *Collector) WriteGantt(w io.Writer, width, maxCores int) error {
+	if width < 10 {
+		width = 10
+	}
+	recs := c.Records()
+	if len(recs) == 0 {
+		_, err := fmt.Fprintln(w, "(no records)")
+		return err
+	}
+	start, end := recs[0].Start, recs[0].End
+	busy := map[int]float64{}
+	for _, r := range recs {
+		if r.Start < start {
+			start = r.Start
+		}
+		if r.End > end {
+			end = r.End
+		}
+		busy[r.Core] += r.Duration()
+	}
+	span := end - start
+	if span <= 0 {
+		span = 1
+	}
+	cores := make([]int, 0, len(busy))
+	for core := range busy {
+		cores = append(cores, core)
+	}
+	sort.Slice(cores, func(i, j int) bool {
+		if busy[cores[i]] != busy[cores[j]] {
+			return busy[cores[i]] > busy[cores[j]]
+		}
+		return cores[i] < cores[j]
+	})
+	if len(cores) > maxCores {
+		cores = cores[:maxCores]
+	}
+	shown := map[int]bool{}
+	for _, core := range cores {
+		shown[core] = true
+	}
+
+	// Per core, accumulate stage occupancy per bin.
+	type binAcc [numStages]float64
+	rows := map[int][]binAcc{}
+	for _, core := range cores {
+		rows[core] = make([]binAcc, width)
+	}
+	binW := span / float64(width)
+	for _, r := range recs {
+		if !shown[r.Core] || r.Duration() <= 0 {
+			continue
+		}
+		b0 := int((r.Start - start) / binW)
+		b1 := int((r.End - start) / binW)
+		for b := b0; b <= b1 && b < width; b++ {
+			if b < 0 {
+				continue
+			}
+			lo := start + float64(b)*binW
+			hi := lo + binW
+			ov := minF(hi, r.End) - maxF(lo, r.Start)
+			if ov > 0 {
+				rows[r.Core][b][r.Stage] += ov
+			}
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "timeline %.3fs – %.3fs (%d bins of %.4fs)\n",
+		start, end, width, binW); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "legend: .=sched d=deser c=cpu-gpu comm P=parallel s=serial w=ser"); err != nil {
+		return err
+	}
+	for _, core := range cores {
+		var line strings.Builder
+		for b := 0; b < width; b++ {
+			best, bestV := -1, 0.0
+			for st := 0; st < int(numStages); st++ {
+				if v := rows[core][b][st]; v > bestV {
+					best, bestV = st, v
+				}
+			}
+			if best < 0 {
+				line.WriteByte(' ')
+			} else {
+				line.WriteByte(ganttGlyphs[best])
+			}
+		}
+		if _, err := fmt.Fprintf(w, "core %4d |%s| busy %.1f%%\n",
+			core, line.String(), busy[core]/span*100); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

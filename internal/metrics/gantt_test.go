@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteGantt(t *testing.T) {
+	c := NewCollector()
+	c.Add(Record{TaskID: 0, Core: 0, Stage: StageDeser, Start: 0, End: 4})
+	c.Add(Record{TaskID: 0, Core: 0, Stage: StageParallel, Start: 4, End: 10})
+	c.Add(Record{TaskID: 1, Core: 1, Stage: StageSer, Start: 0, End: 2})
+	var b strings.Builder
+	if err := c.WriteGantt(&b, 10, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"timeline", "legend", "core    0", "core    1", "busy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("gantt missing %q:\n%s", want, out)
+		}
+	}
+	// Core 0 is fully busy: its row must contain both 'd' and 'P' bins and
+	// 100% busy.
+	lines := strings.Split(out, "\n")
+	var core0 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "core    0") {
+			core0 = l
+		}
+	}
+	if !strings.Contains(core0, "d") || !strings.Contains(core0, "P") {
+		t.Fatalf("core 0 row missing stages: %q", core0)
+	}
+	if !strings.Contains(core0, "100.0%") {
+		t.Fatalf("core 0 should be 100%% busy: %q", core0)
+	}
+}
+
+func TestWriteGanttEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := NewCollector().WriteGantt(&b, 20, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no records") {
+		t.Fatal("empty gantt should say so")
+	}
+}
+
+func TestWriteGanttCapsCores(t *testing.T) {
+	c := NewCollector()
+	for core := 0; core < 20; core++ {
+		c.Add(Record{TaskID: core, Core: core, Stage: StageParallel,
+			Start: 0, End: float64(core + 1)})
+	}
+	var b strings.Builder
+	if err := c.WriteGantt(&b, 20, 5); err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Count(b.String(), "core ")
+	if rows != 5 {
+		t.Fatalf("gantt rows = %d, want 5 (busiest-first cap)", rows)
+	}
+	// Busiest core (19) listed first.
+	if !strings.Contains(strings.Split(b.String(), "\n")[2], "core   19") {
+		t.Fatalf("busiest core not first:\n%s", b.String())
+	}
+}

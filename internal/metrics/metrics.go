@@ -1,0 +1,306 @@
+// Package metrics records and aggregates per-task stage timings using the
+// paper's measurement taxonomy (§4.2):
+//
+//   - task user code metrics, aggregated per task type: serial fraction,
+//     parallel fraction, CPU-GPU communication, and their sum;
+//   - data-movement overheads, aggregated per CPU core: deserialization and
+//     serialization;
+//   - task-level metrics, per DAG level: parallel task execution time.
+//
+// The collector is the in-Go analog of the paper's instrumentation stack
+// (Python perf counters, CUDA events and Paraver traces); a Paraver-like
+// trace export is provided for inspection.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Stage enumerates the task processing stages of the paper's Figure 4.
+type Stage int
+
+const (
+	// StageSched is the time from task readiness to placement (queueing
+	// plus the scheduler's per-decision service time).
+	StageSched Stage = iota
+	// StageDeser covers storage read + decode into host memory.
+	StageDeser
+	// StageCommIn is host-to-device transfer (GPU tasks only).
+	StageCommIn
+	// StageParallel is the parallel fraction of the user code.
+	StageParallel
+	// StageSerial is the serial fraction of the user code.
+	StageSerial
+	// StageCommOut is device-to-host transfer (GPU tasks only).
+	StageCommOut
+	// StageSer covers encode + storage write of outputs.
+	StageSer
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"sched", "deser", "comm_in", "parallel", "serial", "comm_out", "ser",
+}
+
+func (s Stage) String() string {
+	if s < 0 || int(s) >= len(stageNames) {
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+	return stageNames[s]
+}
+
+// Record is one measured stage of one task.
+type Record struct {
+	TaskID   int
+	TaskName string
+	Level    int
+	Node     int
+	Core     int // cluster-global core index the task's host side ran on
+	Device   string
+	Stage    Stage
+	Start    float64
+	End      float64
+}
+
+// Duration returns the record's elapsed time.
+func (r Record) Duration() float64 { return r.End - r.Start }
+
+// Collector accumulates records. It is safe for concurrent use (the local
+// backend runs real tasks on multiple goroutines; the sim backend is
+// single-threaded but shares the code path).
+type Collector struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Add appends a record.
+func (c *Collector) Add(r Record) {
+	c.mu.Lock()
+	c.records = append(c.records, r)
+	c.mu.Unlock()
+}
+
+// Records returns a copy of all records.
+func (c *Collector) Records() []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Record, len(c.records))
+	copy(out, c.records)
+	return out
+}
+
+// Len returns the number of records.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.records)
+}
+
+// MeanStage returns the average duration of a stage over tasks of the given
+// type ("" matches every task type) — the paper's "average time per task"
+// user-code metrics. The second result is the number of tasks that
+// contributed.
+func (c *Collector) MeanStage(taskName string, stage Stage) (float64, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum float64
+	n := 0
+	for _, r := range c.records {
+		if r.Stage == stage && (taskName == "" || r.TaskName == taskName) {
+			sum += r.Duration()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}
+
+// SumStage returns the total duration of a stage across matching tasks.
+func (c *Collector) SumStage(taskName string, stage Stage) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum float64
+	for _, r := range c.records {
+		if r.Stage == stage && (taskName == "" || r.TaskName == taskName) {
+			sum += r.Duration()
+		}
+	}
+	return sum
+}
+
+// UserCodeMean returns the average full user-code time per task of the
+// given type: serial + parallel + CPU-GPU communication (§4.2).
+func (c *Collector) UserCodeMean(taskName string) float64 {
+	var total float64
+	for _, st := range []Stage{StageSerial, StageParallel, StageCommIn, StageCommOut} {
+		m, n := c.MeanStage(taskName, st)
+		if n > 0 {
+			total += m
+		}
+	}
+	return total
+}
+
+// MovementPerCore returns the mean (de)serialization time per active CPU
+// core — the paper's data-movement overhead metric, which exposes how well
+// (de)serialization parallelism matches the available cores.
+func (c *Collector) MovementPerCore(stage Stage) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	perCore := map[int]float64{}
+	for _, r := range c.records {
+		if r.Stage == stage {
+			perCore[r.Core] += r.Duration()
+		}
+	}
+	if len(perCore) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range perCore {
+		sum += v
+	}
+	return sum / float64(len(perCore))
+}
+
+// LevelSpan returns the wall-clock span of one DAG level: from the first
+// stage start to the last stage end among the level's tasks. This is the
+// paper's "parallel task execution time", which includes every overhead
+// (scheduling, I/O, queueing).
+func (c *Collector) LevelSpan(level int) (start, end float64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	first := true
+	for _, r := range c.records {
+		if r.Level != level {
+			continue
+		}
+		if first {
+			start, end, first = r.Start, r.End, false
+			continue
+		}
+		if r.Start < start {
+			start = r.Start
+		}
+		if r.End > end {
+			end = r.End
+		}
+	}
+	return start, end, !first
+}
+
+// Levels returns the sorted set of DAG levels present in the records.
+func (c *Collector) Levels() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set := map[int]bool{}
+	for _, r := range c.records {
+		set[r.Level] = true
+	}
+	out := make([]int, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MeanLevelSpan averages LevelSpan over every level — the per-iteration
+// parallel-task execution time reported in Figures 7 and 10.
+func (c *Collector) MeanLevelSpan() float64 {
+	levels := c.Levels()
+	if len(levels) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, l := range levels {
+		s, e, ok := c.LevelSpan(l)
+		if ok {
+			sum += e - s
+		}
+	}
+	return sum / float64(len(levels))
+}
+
+// Makespan returns the overall workflow span across all records.
+func (c *Collector) Makespan() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.records) == 0 {
+		return 0
+	}
+	start, end := c.records[0].Start, c.records[0].End
+	for _, r := range c.records[1:] {
+		if r.Start < start {
+			start = r.Start
+		}
+		if r.End > end {
+			end = r.End
+		}
+	}
+	return end - start
+}
+
+// TaskNames returns the distinct task types observed, sorted.
+func (c *Collector) TaskNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set := map[string]bool{}
+	for _, r := range c.records {
+		set[r.TaskName] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteCSV dumps all records as CSV.
+func (c *Collector) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "task_id,task_name,level,node,core,device,stage,start,end"); err != nil {
+		return err
+	}
+	for _, r := range c.Records() {
+		if _, err := fmt.Fprintf(w, "%d,%s,%d,%d,%d,%s,%s,%.9f,%.9f\n",
+			r.TaskID, r.TaskName, r.Level, r.Node, r.Core, r.Device, r.Stage, r.Start, r.End); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePRV dumps the records as Paraver-style state lines
+// ("1:core:appl:task:thread:start:end:state"), the trace format the paper
+// extracted (de)serialization times from. Stage index is used as the state
+// value; times are in nanoseconds as Paraver expects integers.
+func (c *Collector) WritePRV(w io.Writer) error {
+	recs := c.Records()
+	var maxEnd float64
+	for _, r := range recs {
+		if r.End > maxEnd {
+			maxEnd = r.End
+		}
+	}
+	if _, err := fmt.Fprintf(w, "#Paraver (wfsim):%d_ns:1(%d):1:1(%d:1)\n",
+		int64(maxEnd*1e9), len(recs), len(recs)); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if _, err := fmt.Fprintf(w, "1:%d:1:%d:1:%d:%d:%d\n",
+			r.Core+1, r.TaskID+1, int64(r.Start*1e9), int64(r.End*1e9), int(r.Stage)+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

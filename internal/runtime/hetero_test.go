@@ -1,0 +1,154 @@
+package runtime
+
+import (
+	"sort"
+	"testing"
+
+	"wfsim/internal/cluster"
+	"wfsim/internal/costmodel"
+	"wfsim/internal/metrics"
+)
+
+func TestNodeSpeedValidation(t *testing.T) {
+	wf := fanWorkflow(4, testProf)
+	if _, err := RunSim(wf, SimConfig{NodeSpeed: []float64{1, 1}}); err == nil {
+		t.Fatal("wrong-length NodeSpeed accepted")
+	}
+	bad := make([]float64, 8)
+	for i := range bad {
+		bad[i] = 1
+	}
+	bad[3] = 0
+	if _, err := RunSim(wf, SimConfig{NodeSpeed: bad}); err == nil {
+		t.Fatal("zero NodeSpeed accepted")
+	}
+}
+
+func TestStragglerSlowsMakespan(t *testing.T) {
+	wf := func() *Workflow { return fanWorkflow(128, testProf) }
+	uniform, err := RunSim(wf(), SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds := make([]float64, 8)
+	for i := range speeds {
+		speeds[i] = 1
+	}
+	speeds[0] = 0.25 // one quarter-speed node
+	straggler, err := RunSim(wf(), SimConfig{NodeSpeed: speeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if straggler.Makespan <= uniform.Makespan {
+		t.Fatalf("straggler makespan %v should exceed uniform %v",
+			straggler.Makespan, uniform.Makespan)
+	}
+	// All-fast cluster beats nominal.
+	for i := range speeds {
+		speeds[i] = 2
+	}
+	fast, err := RunSim(wf(), SimConfig{NodeSpeed: speeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Makespan >= uniform.Makespan {
+		t.Fatalf("2x nodes makespan %v should beat uniform %v", fast.Makespan, uniform.Makespan)
+	}
+}
+
+// TestGPUConcurrencyInvariant verifies the paper's central resource
+// constraint from the trace itself: at no virtual instant do more GPU
+// tasks hold kernels than the cluster has GPU devices.
+func TestGPUConcurrencyInvariant(t *testing.T) {
+	prof := testProf
+	prof.ParallelOps = 2e10
+	wf := fanWorkflow(200, prof)
+	spec := cluster.Minotauro()
+	res, err := RunSim(wf, SimConfig{Device: costmodel.GPU, Cluster: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type event struct {
+		at    float64
+		delta int
+	}
+	var events []event
+	for _, r := range res.Collector.Records() {
+		if r.Stage == metrics.StageParallel && r.Device == "GPU" {
+			events = append(events, event{r.Start, +1}, event{r.End, -1})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].delta < events[j].delta // releases before acquires at ties
+	})
+	cur, max := 0, 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	if max > spec.TotalGPUs() {
+		t.Fatalf("observed %d concurrent GPU kernels, cluster has %d devices", max, spec.TotalGPUs())
+	}
+	if max < spec.TotalGPUs()/2 {
+		t.Fatalf("only %d concurrent GPU kernels for a 200-task fan; GPUs underused", max)
+	}
+}
+
+// TestCPUConcurrencyInvariant: the same check for cores (every stage holds
+// the core, so any stage interval counts).
+func TestCPUConcurrencyInvariant(t *testing.T) {
+	wf := fanWorkflow(300, testProf)
+	spec := cluster.Minotauro()
+	res, err := RunSim(wf, SimConfig{Device: costmodel.CPU, Cluster: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count overlapping per-task occupancy via deser..ser extent.
+	type span struct{ s, e float64 }
+	spans := map[int]*span{}
+	for _, r := range res.Collector.Records() {
+		if r.Stage == metrics.StageSched {
+			continue // not on a core yet
+		}
+		sp, ok := spans[r.TaskID]
+		if !ok {
+			spans[r.TaskID] = &span{r.Start, r.End}
+			continue
+		}
+		if r.Start < sp.s {
+			sp.s = r.Start
+		}
+		if r.End > sp.e {
+			sp.e = r.End
+		}
+	}
+	type event struct {
+		at    float64
+		delta int
+	}
+	var events []event
+	for _, sp := range spans {
+		events = append(events, event{sp.s, +1}, event{sp.e, -1})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].delta < events[j].delta
+	})
+	cur, max := 0, 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	if max > spec.TotalCores() {
+		t.Fatalf("observed %d concurrent tasks on %d cores", max, spec.TotalCores())
+	}
+}

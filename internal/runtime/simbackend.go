@@ -1,0 +1,387 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"wfsim/internal/cluster"
+	"wfsim/internal/costmodel"
+	"wfsim/internal/dag"
+	"wfsim/internal/metrics"
+	"wfsim/internal/sched"
+	"wfsim/internal/sim"
+	"wfsim/internal/storage"
+)
+
+// SimConfig selects the execution environment for a simulated run: the
+// factor combination of the paper's Table 1 (resources + system
+// dimensions).
+type SimConfig struct {
+	// Cluster is the topology; defaults to Minotauro when zero.
+	Cluster cluster.Spec
+	// Params are the calibrated device/link rates; defaults to
+	// costmodel.DefaultParams when zero.
+	Params *costmodel.Params
+	// Storage selects the storage architecture factor.
+	Storage storage.Architecture
+	// Policy selects the scheduling policy factor.
+	Policy sched.Policy
+	// Device selects the processor-type factor: with GPU, every task with
+	// a parallel fraction is GPU-accelerated (the paper's assignment rule,
+	// §3.3); serial tasks always run on CPU.
+	Device costmodel.DeviceKind
+	// Seed feeds the Random scheduling policy.
+	Seed uint64
+	// NodeSpeed optionally scales per-node compute rates (1.0 = nominal,
+	// 0.5 = half-speed straggler). Length must match the cluster's node
+	// count when set. Models resource heterogeneity beyond the paper's
+	// uniform testbed — useful for scheduler stress studies.
+	NodeSpeed []float64
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.Cluster.Nodes == 0 {
+		c.Cluster = cluster.Minotauro()
+	}
+	if c.Params == nil {
+		p := costmodel.DefaultParams()
+		c.Params = &p
+	}
+	return c
+}
+
+// SimResult is the outcome of a simulated run.
+type SimResult struct {
+	// Collector holds every per-stage record for aggregation.
+	Collector *metrics.Collector
+	// Makespan is the workflow's total virtual execution time.
+	Makespan float64
+	// CoreUtilization and GPUUtilization are mean busy fractions.
+	CoreUtilization float64
+	GPUUtilization  float64
+	// SchedDecisions counts scheduler dispatches (== tasks).
+	SchedDecisions int
+}
+
+// RunSim executes the workflow on the simulated cluster and returns the
+// collected metrics. It returns costmodel.ErrGPUOOM / ErrHostOOM when any
+// task's footprint exceeds device/host memory — the "GPU OOM" and "CPU GPU
+// OOM" annotations in the paper's figures — without running the workflow,
+// matching how an OOM aborts the paper's real executions.
+func RunSim(wf *Workflow, cfg SimConfig) (*SimResult, error) {
+	cfg = cfg.withDefaults()
+	if err := wf.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NodeSpeed != nil {
+		if len(cfg.NodeSpeed) != cfg.Cluster.Nodes {
+			return nil, fmt.Errorf("runtime: NodeSpeed has %d entries for %d nodes",
+				len(cfg.NodeSpeed), cfg.Cluster.Nodes)
+		}
+		for i, s := range cfg.NodeSpeed {
+			if s <= 0 {
+				return nil, fmt.Errorf("runtime: NodeSpeed[%d] = %v, must be positive", i, s)
+			}
+		}
+	}
+	params := cfg.Params
+	if err := params.Validate(); err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
+
+	// Pre-flight memory check over every task at its assigned device.
+	for _, t := range wf.Graph.Tasks() {
+		spec := wf.Spec(t)
+		dev := taskDevice(spec.Profile, cfg.Device)
+		if err := params.CheckMemory(spec.Profile, dev); err != nil {
+			return nil, fmt.Errorf("task %d (%s): %w", t.ID, t.Name, err)
+		}
+	}
+
+	eng := sim.New()
+	clu, err := cluster.Build(eng, cfg.Cluster, *params)
+	if err != nil {
+		return nil, err
+	}
+	store, err := storage.New(cfg.Storage, clu)
+	if err != nil {
+		return nil, err
+	}
+	scheduler, err := sched.New(cfg.Policy, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	run := &simRun{
+		wf: wf, cfg: cfg, params: params,
+		eng: eng, clu: clu, store: store, scheduler: scheduler,
+		collector: metrics.NewCollector(),
+		remaining: make([]int, wf.Graph.Len()),
+		load:      make([]int, cfg.Cluster.Nodes),
+		slots:     make([][]bool, cfg.Cluster.Nodes),
+	}
+	for i := range run.slots {
+		run.slots[i] = make([]bool, cfg.Cluster.CoresPerNode)
+	}
+	for _, lvl := range wf.Graph.Levels() {
+		run.levelWidth = append(run.levelWidth, len(lvl))
+	}
+
+	// Pre-place workflow input data: shared storage registers the keys;
+	// local disks receive blocks round-robin across nodes, the balanced
+	// initial distribution a data-aware loader would produce. Keys are
+	// placed largest-first so the dataset blocks land evenly and small
+	// broadcast data (e.g. K-means centers) doesn't skew the rotation.
+	keys := wf.InputKeys()
+	sort.SliceStable(keys, func(i, j int) bool { return wf.sizes[keys[i]] > wf.sizes[keys[j]] })
+	for i, key := range keys {
+		store.Place(key, i%cfg.Cluster.Nodes)
+	}
+
+	// Seed the ready queue with dependency-free tasks in generation order.
+	for _, t := range wf.Graph.Tasks() {
+		run.remaining[t.ID] = len(t.Deps())
+	}
+	for _, t := range wf.Graph.Tasks() {
+		if run.remaining[t.ID] == 0 {
+			run.enqueue(t)
+		}
+	}
+
+	if err := eng.Run(); err != nil {
+		return nil, fmt.Errorf("runtime: simulation failed: %w", err)
+	}
+	if run.done != wf.Graph.Len() {
+		return nil, fmt.Errorf("runtime: %d of %d tasks completed", run.done, wf.Graph.Len())
+	}
+
+	res := &SimResult{
+		Collector:      run.collector,
+		Makespan:       eng.Now(),
+		SchedDecisions: run.done,
+	}
+	var coreBusy, gpuBusy float64
+	for _, n := range clu.Nodes {
+		coreBusy += n.Cores.BusyTime()
+		gpuBusy += n.GPUs.BusyTime()
+	}
+	if eng.Now() > 0 {
+		res.CoreUtilization = coreBusy / (float64(cfg.Cluster.TotalCores()) * eng.Now())
+		if cfg.Cluster.TotalGPUs() > 0 {
+			res.GPUUtilization = gpuBusy / (float64(cfg.Cluster.TotalGPUs()) * eng.Now())
+		}
+	}
+	return res, nil
+}
+
+// taskDevice applies the paper's assignment rule: serial tasks to CPUs;
+// partially or fully parallel tasks to GPUs when GPU mode is selected.
+func taskDevice(prof costmodel.Profile, mode costmodel.DeviceKind) costmodel.DeviceKind {
+	if mode == costmodel.GPU && prof.ParallelOps > 0 {
+		return costmodel.GPU
+	}
+	return costmodel.CPU
+}
+
+// simRun is the mutable state of one simulated execution. All fields are
+// touched only from engine context (single-threaded), so no locking.
+type simRun struct {
+	wf        *Workflow
+	cfg       SimConfig
+	params    *costmodel.Params
+	eng       *sim.Engine
+	clu       *cluster.Cluster
+	store     storage.System
+	scheduler sched.Scheduler
+	collector *metrics.Collector
+
+	queue      sched.Queue
+	remaining  []int    // unmet dependency count per task
+	load       []int    // outstanding tasks per node
+	slots      [][]bool // physical core occupancy per node, for core naming
+	levelWidth []int    // tasks per DAG level
+	done       int
+}
+
+// acquireSlot returns the lowest free core index on a node, so repeated
+// waves reuse the same physical cores — required for the paper's per-core
+// (de)serialization aggregation to be meaningful.
+func (r *simRun) acquireSlot(node int) int {
+	for i, busy := range r.slots[node] {
+		if !busy {
+			r.slots[node][i] = true
+			return i
+		}
+	}
+	panic(fmt.Sprintf("runtime: no free core slot on node %d despite server grant", node))
+}
+
+// enqueue registers a ready task and spawns its dispatch/execute process.
+func (r *simRun) enqueue(t *dag.Task) {
+	ref := sched.TaskRef{ID: t.ID, Name: t.Name}
+	for _, p := range t.Params {
+		if p.Reads() {
+			ref.Inputs = append(ref.Inputs, sched.DataLoc{Key: p.Data, Bytes: r.wf.sizes[p.Data]})
+		}
+	}
+	r.queue.Push(ref)
+	r.eng.Go(fmt.Sprintf("task%d", t.ID), r.taskProc)
+}
+
+// taskProc is the full lifecycle of one dispatched task: scheduling on the
+// master, then the Figure 4 pipeline on the placed node.
+func (r *simRun) taskProc(p *sim.Proc) {
+	// --- Scheduling: serialize through the capacity-1 master and pay the
+	// policy's decision cost. The task actually dispatched is whichever
+	// the policy selects from the ready queue at grant time.
+	schedStart := p.Now()
+	r.clu.Master.Acquire(p)
+	ref, ok := r.scheduler.Next(&r.queue)
+	if !ok {
+		// Cannot happen: one process per queued ref.
+		r.clu.Master.Release()
+		panic("runtime: ready queue empty at dispatch")
+	}
+	p.Wait(r.scheduler.Overhead(*r.params))
+	view := &sched.View{
+		NumNodes: r.cfg.Cluster.Nodes,
+		Load:     r.load,
+		Locate:   r.store.Location,
+	}
+	nodeID := r.scheduler.Place(ref, view)
+	r.clu.Master.Release()
+	if nodeID < 0 || nodeID >= r.cfg.Cluster.Nodes {
+		panic(fmt.Sprintf("runtime: scheduler placed task %d on invalid node %d", ref.ID, nodeID))
+	}
+	r.load[nodeID]++
+
+	task := r.wf.Graph.Task(ref.ID)
+	spec := r.wf.Spec(task)
+	prof := spec.Profile
+	dev := taskDevice(prof, r.cfg.Device)
+	node := r.clu.Node(nodeID)
+	speed := 1.0 // CPU-side compute-rate multiplier for this node
+	if r.cfg.NodeSpeed != nil {
+		speed = r.cfg.NodeSpeed[nodeID]
+	}
+
+	core := -1 // assigned once the core is actually held
+	rec := func(stage metrics.Stage, start, end float64) {
+		r.collector.Add(metrics.Record{
+			TaskID: task.ID, TaskName: task.Name, Level: task.Level,
+			Node: nodeID, Core: core, Device: dev.String(),
+			Stage: stage, Start: start, End: end,
+		})
+	}
+	rec(metrics.StageSched, schedStart, p.Now())
+
+	// --- Occupy a worker core for the whole task (COMPSs binds the task
+	// to a core; GPU tasks keep their host core while the kernel runs).
+	// A GPU-accelerated task additionally reserves its GPU device for its
+	// entire lifetime (a COMPSs {CPU:1, GPU:1} constraint: GPU worker
+	// deployments expose one executor slot per device). This is why "we
+	// can execute in parallel a maximum of 128 CPU-based tasks and only
+	// 32 GPU-accelerated tasks" (§3.3) — the task-level-parallelism
+	// asymmetry at the heart of the paper's parallel-task results.
+	node.Cores.Acquire(p)
+	slot := r.acquireSlot(nodeID)
+	core = nodeID*r.cfg.Cluster.CoresPerNode + slot
+	if dev == costmodel.GPU {
+		node.GPUs.Acquire(p)
+	}
+
+	// --- Deserialization: storage reads of every input, then CPU decode.
+	dStart := p.Now()
+	var readBytes float64
+	for _, in := range ref.Inputs {
+		r.store.Read(p, node, in.Key, in.Bytes)
+		readBytes += in.Bytes
+	}
+	if readBytes > 0 {
+		p.Wait(readBytes / r.params.DeserRate / speed)
+	}
+	rec(metrics.StageDeser, dStart, p.Now())
+
+	// --- User code.
+	switch dev {
+	case costmodel.GPU:
+		// Host-to-device transfer on the node's contended PCIe bus.
+		gStart := p.Now()
+		if prof.BytesIn > 0 {
+			node.PCIe.Transfer(p, prof.BytesIn)
+		}
+		rec(metrics.StageCommIn, gStart, p.Now())
+
+		kStart := p.Now()
+		p.Wait(r.params.ParallelTime(prof, costmodel.GPU))
+		rec(metrics.StageParallel, kStart, p.Now())
+
+		oStart := p.Now()
+		if prof.BytesOut > 0 {
+			node.PCIe.Transfer(p, prof.BytesOut)
+		}
+		rec(metrics.StageCommOut, oStart, p.Now())
+	case costmodel.CPU:
+		kStart := p.Now()
+		if prof.ParallelOps > 0 {
+			t := r.params.ParallelTime(prof, costmodel.CPU)
+			// A task alone at its DAG level has no task-level
+			// parallelism to protect: its vectorized kernel spreads over
+			// the node's idle cores (NumPy/BLAS threading), which is why
+			// the paper's parallel-task time *drops* at the maximum
+			// block size (§5.3) instead of growing further.
+			if r.levelWidth[task.Level] == 1 {
+				t /= r.params.SoloThreadSpeedup
+			}
+			p.Wait(t / speed)
+		}
+		rec(metrics.StageParallel, kStart, p.Now())
+	}
+
+	// Serial fraction always runs on the host core (§3.3).
+	sStart := p.Now()
+	if prof.SerialOps > 0 {
+		p.Wait(r.params.SerialTime(prof) / speed)
+	}
+	rec(metrics.StageSerial, sStart, p.Now())
+
+	// --- Serialization: CPU encode, then storage writes of every output.
+	wStart := p.Now()
+	var wroteBytes float64
+	for _, prm := range task.Params {
+		if prm.Writes() {
+			wroteBytes += r.wf.sizes[prm.Data]
+		}
+	}
+	if wroteBytes > 0 {
+		p.Wait(wroteBytes / r.params.SerRate / speed)
+	}
+	for _, prm := range task.Params {
+		if prm.Writes() {
+			r.store.Write(p, node, prm.Data, r.wf.sizes[prm.Data])
+		}
+	}
+	rec(metrics.StageSer, wStart, p.Now())
+
+	if dev == costmodel.GPU {
+		node.GPUs.Release()
+	}
+	r.slots[nodeID][slot] = false
+	node.Cores.Release()
+	r.load[nodeID]--
+	r.done++
+
+	// Release successors whose dependencies are now all met, in ID order.
+	for _, s := range task.Succs() {
+		r.remaining[s]--
+		if r.remaining[s] == 0 {
+			r.enqueue(r.wf.Graph.Task(s))
+		}
+	}
+}
+
+// ErrOOM reports whether err is a memory-capacity error (either kind).
+func ErrOOM(err error) bool {
+	return errors.Is(err, costmodel.ErrGPUOOM) || errors.Is(err, costmodel.ErrHostOOM)
+}

@@ -1,0 +1,207 @@
+// Package runtime is the task-based workflow engine at the center of the
+// reproduction: the Go analog of PyCOMPSs (§3). Applications submit tasks
+// with data-direction annotations; the runtime builds the execution DAG
+// from data dependencies, schedules dependency-free tasks onto cluster
+// resources with a pluggable policy, and executes each task through the
+// paper's processing stages (Figure 4): deserialization, the user code
+// (serial fraction, CPU-GPU communication, parallel fraction) and
+// serialization.
+//
+// Two backends share the same workflow definition:
+//
+//   - SimBackend executes the lifecycle on the deterministic DES over a
+//     simulated cluster, producing per-stage virtual timings at paper scale
+//     (8-100 GB datasets, 128 cores, 32 GPUs). This is what every
+//     experiment uses.
+//   - LocalBackend executes the real kernels on goroutine worker pools with
+//     materialized blocks, validating that the workflows compute correct
+//     results (examples and tests).
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"wfsim/internal/costmodel"
+	"wfsim/internal/dag"
+	"wfsim/internal/dataset"
+)
+
+// ExecFunc is the real computation of a task, used by the local backend.
+// It reads and writes materialized blocks through the Store.
+type ExecFunc func(s *Store) error
+
+// TaskSpec carries everything the backends need to run one task: the
+// analytic cost profile (sim backend) and the real kernel (local backend,
+// optional for sim-only workflows).
+type TaskSpec struct {
+	Profile costmodel.Profile
+	Exec    ExecFunc
+}
+
+// Workflow is an application expressed as tasks over named data. It wraps
+// the dependency DAG with per-datum sizes (for storage I/O and locality
+// decisions) and, optionally, materialized input blocks for real execution.
+type Workflow struct {
+	Name  string
+	Graph *dag.Graph
+
+	// sizes maps datum key -> bytes, used for (de)serialization volumes
+	// and locality weights.
+	sizes map[string]float64
+
+	// initial holds materialized input blocks for the local backend.
+	initial map[string]*dataset.Block
+}
+
+// NewWorkflow returns an empty workflow.
+func NewWorkflow(name string) *Workflow {
+	return &Workflow{
+		Name:    name,
+		Graph:   dag.New(),
+		sizes:   make(map[string]float64),
+		initial: make(map[string]*dataset.Block),
+	}
+}
+
+// SetSize declares the serialized size of a datum in bytes. Tasks reading
+// the datum deserialize this volume; tasks writing it serialize it.
+func (w *Workflow) SetSize(key string, bytes float64) { w.sizes[key] = bytes }
+
+// Size returns the declared size of a datum (0 if unknown).
+func (w *Workflow) Size(key string) float64 { return w.sizes[key] }
+
+// SetInput attaches a materialized block as workflow input data for the
+// local backend, and records its size for the sim backend.
+func (w *Workflow) SetInput(key string, b *dataset.Block) {
+	w.initial[key] = b
+	w.sizes[key] = float64(b.Bytes())
+}
+
+// AddTask submits a task: the spec plus its data parameters. Dependencies
+// are inferred from parameter directions exactly as in PyCOMPSs.
+func (w *Workflow) AddTask(name string, spec TaskSpec, params ...dag.Param) *dag.Task {
+	return w.Graph.Add(name, spec, params...)
+}
+
+// Spec returns the TaskSpec attached to a DAG task.
+func (w *Workflow) Spec(t *dag.Task) TaskSpec {
+	s, ok := t.Payload.(TaskSpec)
+	if !ok {
+		return TaskSpec{}
+	}
+	return s
+}
+
+// readBytes sums the serialized sizes of the task's read parameters.
+func (w *Workflow) readBytes(t *dag.Task) float64 {
+	var sum float64
+	for _, p := range t.Params {
+		if p.Reads() {
+			sum += w.sizes[p.Data]
+		}
+	}
+	return sum
+}
+
+// writeBytes sums the serialized sizes of the task's written parameters.
+func (w *Workflow) writeBytes(t *dag.Task) float64 {
+	var sum float64
+	for _, p := range t.Params {
+		if p.Writes() {
+			sum += w.sizes[p.Data]
+		}
+	}
+	return sum
+}
+
+// InputKeys returns, in first-use order, every datum that is read before
+// any task writes it — the workflow's external input data, which the
+// runtime pre-places in storage before execution.
+func (w *Workflow) InputKeys() []string {
+	written := make(map[string]bool)
+	seen := make(map[string]bool)
+	var out []string
+	for _, t := range w.Graph.Tasks() {
+		for _, p := range t.Params {
+			if p.Reads() && !written[p.Data] && !seen[p.Data] {
+				seen[p.Data] = true
+				out = append(out, p.Data)
+			}
+		}
+		for _, p := range t.Params {
+			if p.Writes() {
+				written[p.Data] = true
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks the workflow is runnable: valid DAG, sizes declared for
+// every datum.
+func (w *Workflow) Validate() error {
+	if err := w.Graph.Validate(); err != nil {
+		return fmt.Errorf("workflow %s: %w", w.Name, err)
+	}
+	missing := map[string]bool{}
+	for _, t := range w.Graph.Tasks() {
+		for _, p := range t.Params {
+			if _, ok := w.sizes[p.Data]; !ok {
+				missing[p.Data] = true
+			}
+		}
+	}
+	if len(missing) > 0 {
+		keys := make([]string, 0, len(missing))
+		for k := range missing {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return fmt.Errorf("workflow %s: %d datum(s) without declared size, e.g. %q",
+			w.Name, len(keys), keys[0])
+	}
+	return nil
+}
+
+// Store is the local backend's in-memory data space: materialized blocks
+// keyed by datum name. It is safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	data map[string]*dataset.Block
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store { return &Store{data: make(map[string]*dataset.Block)} }
+
+// Get returns the block stored under key, or nil.
+func (s *Store) Get(key string) *dataset.Block {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data[key]
+}
+
+// MustGet returns the block stored under key, panicking if absent — for
+// kernels whose inputs are guaranteed by DAG ordering.
+func (s *Store) MustGet(key string) *dataset.Block {
+	b := s.Get(key)
+	if b == nil {
+		panic(fmt.Sprintf("runtime: datum %q not materialized", key))
+	}
+	return b
+}
+
+// Put stores a block under key.
+func (s *Store) Put(key string, b *dataset.Block) {
+	s.mu.Lock()
+	s.data[key] = b
+	s.mu.Unlock()
+}
+
+// Len returns the number of stored blocks.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}

@@ -1,0 +1,208 @@
+// Package sched implements the runtime's pluggable task scheduling
+// policies (§3.2). The paper evaluates two COMPSs policies — task
+// generation order (FIFO) and data locality — and we add LIFO and a seeded
+// random policy as ablation baselines.
+//
+// A policy makes two choices: which ready task to dispatch next (queue
+// discipline) and which node to place it on. Each decision costs a
+// per-policy service time on the capacity-1 master server, so scheduling
+// overhead scales with the number of tasks — the mechanism behind the
+// paper's observation that fine-grained workloads suffer scheduling
+// bottlenecks, and that the locality policy's pricier placement search
+// shows up at low task granularity.
+package sched
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"wfsim/internal/costmodel"
+)
+
+// DataLoc describes one input datum of a task for locality decisions.
+type DataLoc struct {
+	Key   string
+	Bytes float64
+}
+
+// TaskRef is the scheduler-visible view of a ready task.
+type TaskRef struct {
+	ID     int
+	Name   string
+	Inputs []DataLoc
+}
+
+// View is the scheduler-visible cluster state.
+type View struct {
+	// NumNodes is the cluster node count.
+	NumNodes int
+	// Load is the number of dispatched-but-unfinished tasks per node.
+	Load []int
+	// Locate resolves a datum to its holding node (local-disk storage);
+	// shared storage always reports no affinity.
+	Locate func(key string) (int, bool)
+}
+
+// leastLoaded returns the node with the fewest outstanding tasks, lowest
+// ID winning ties (deterministic).
+func (v *View) leastLoaded() int {
+	best, bestLoad := 0, int(^uint(0)>>1)
+	for n := 0; n < v.NumNodes; n++ {
+		if v.Load[n] < bestLoad {
+			best, bestLoad = n, v.Load[n]
+		}
+	}
+	return best
+}
+
+// Queue is the ready-task queue, ordered by task generation order.
+type Queue struct {
+	items []TaskRef
+}
+
+// Push appends a newly ready task. Tasks become ready in generation order
+// among tasks freed at the same instant, so Push order is the paper's
+// "task generation order".
+func (q *Queue) Push(t TaskRef) { q.items = append(q.items, t) }
+
+// Len returns the number of queued tasks.
+func (q *Queue) Len() int { return len(q.items) }
+
+// PopFront removes and returns the oldest ready task.
+func (q *Queue) PopFront() (TaskRef, bool) {
+	if len(q.items) == 0 {
+		return TaskRef{}, false
+	}
+	t := q.items[0]
+	q.items = q.items[1:]
+	return t, true
+}
+
+// PopBack removes and returns the newest ready task.
+func (q *Queue) PopBack() (TaskRef, bool) {
+	if len(q.items) == 0 {
+		return TaskRef{}, false
+	}
+	t := q.items[len(q.items)-1]
+	q.items = q.items[:len(q.items)-1]
+	return t, true
+}
+
+// Policy identifies a scheduling policy.
+type Policy int
+
+const (
+	// FIFO is COMPSs' task-generation-order policy: cheap decisions,
+	// placement on the least-loaded node.
+	FIFO Policy = iota
+	// Locality is COMPSs' data-locality policy: pricier decisions,
+	// placement on the node holding the most input bytes.
+	Locality
+	// LIFO dispatches the most recently generated ready task first
+	// (ablation).
+	LIFO
+	// Random places tasks uniformly at random (seeded; ablation
+	// baseline).
+	Random
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "task generation order"
+	case Locality:
+		return "data locality"
+	case LIFO:
+		return "lifo"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Scheduler selects and places ready tasks.
+type Scheduler interface {
+	// Policy identifies the implementation.
+	Policy() Policy
+	// Overhead is the master-side service time per scheduling decision.
+	Overhead(p costmodel.Params) float64
+	// Next removes and returns the next task to dispatch.
+	Next(q *Queue) (TaskRef, bool)
+	// Place picks the target node for the task.
+	Place(t TaskRef, v *View) int
+}
+
+// New constructs the scheduler for a policy. Seed is used only by Random.
+func New(p Policy, seed uint64) (Scheduler, error) {
+	switch p {
+	case FIFO:
+		return fifoSched{}, nil
+	case Locality:
+		return localitySched{}, nil
+	case LIFO:
+		return lifoSched{}, nil
+	case Random:
+		return &randomSched{rng: rand.New(rand.NewPCG(seed, 0x5eed))}, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown policy %d", p)
+	}
+}
+
+type fifoSched struct{}
+
+func (fifoSched) Policy() Policy                      { return FIFO }
+func (fifoSched) Overhead(p costmodel.Params) float64 { return p.SchedFIFO }
+func (fifoSched) Next(q *Queue) (TaskRef, bool)       { return q.PopFront() }
+func (fifoSched) Place(t TaskRef, v *View) int        { return v.leastLoaded() }
+
+type lifoSched struct{}
+
+func (lifoSched) Policy() Policy                      { return LIFO }
+func (lifoSched) Overhead(p costmodel.Params) float64 { return p.SchedFIFO }
+func (lifoSched) Next(q *Queue) (TaskRef, bool)       { return q.PopBack() }
+func (lifoSched) Place(t TaskRef, v *View) int        { return v.leastLoaded() }
+
+type localitySched struct{}
+
+func (localitySched) Policy() Policy                      { return Locality }
+func (localitySched) Overhead(p costmodel.Params) float64 { return p.SchedLocality }
+func (localitySched) Next(q *Queue) (TaskRef, bool)       { return q.PopFront() }
+
+// Place tallies input bytes per holding node and chooses the node with the
+// best locality score; without any located input (e.g. shared storage,
+// where blocks have no node affinity) it falls back to least-loaded. The
+// score discounts resident bytes by the node's outstanding load — COMPSs'
+// locality scheduler likewise prefers local data only among free
+// resources, so a data hotspot does not serialize the whole level.
+func (localitySched) Place(t TaskRef, v *View) int {
+	byNode := make(map[int]float64)
+	for _, in := range t.Inputs {
+		if n, ok := v.Locate(in.Key); ok && n >= 0 {
+			byNode[n] += in.Bytes
+		}
+	}
+	best, bestScore := -1, 0.0
+	for n := 0; n < v.NumNodes; n++ {
+		if b, ok := byNode[n]; ok {
+			// Strictly-greater keeps the lowest node ID on ties for
+			// determinism.
+			if score := b / float64(1+v.Load[n]); score > bestScore {
+				best, bestScore = n, score
+			}
+		}
+	}
+	if best < 0 {
+		return v.leastLoaded()
+	}
+	return best
+}
+
+type randomSched struct {
+	rng *rand.Rand
+}
+
+func (*randomSched) Policy() Policy                      { return Random }
+func (*randomSched) Overhead(p costmodel.Params) float64 { return p.SchedFIFO }
+func (*randomSched) Next(q *Queue) (TaskRef, bool)       { return q.PopFront() }
+func (r *randomSched) Place(t TaskRef, v *View) int      { return r.rng.IntN(v.NumNodes) }

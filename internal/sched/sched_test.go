@@ -1,0 +1,156 @@
+package sched
+
+import (
+	"testing"
+
+	"wfsim/internal/costmodel"
+)
+
+func view(load ...int) *View {
+	return &View{
+		NumNodes: len(load),
+		Load:     load,
+		Locate:   func(string) (int, bool) { return -1, false },
+	}
+}
+
+func TestQueueDisciplines(t *testing.T) {
+	q := &Queue{}
+	for i := 0; i < 3; i++ {
+		q.Push(TaskRef{ID: i})
+	}
+	if q.Len() != 3 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	front, _ := q.PopFront()
+	back, _ := q.PopBack()
+	if front.ID != 0 || back.ID != 2 {
+		t.Fatalf("front=%d back=%d", front.ID, back.ID)
+	}
+	q.PopFront()
+	if _, ok := q.PopFront(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+	if _, ok := q.PopBack(); ok {
+		t.Fatal("pop back from empty queue succeeded")
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	s, err := New(FIFO, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &Queue{}
+	q.Push(TaskRef{ID: 7})
+	q.Push(TaskRef{ID: 8})
+	first, _ := s.Next(q)
+	if first.ID != 7 {
+		t.Fatalf("FIFO dispatched %d first", first.ID)
+	}
+	// Least-loaded placement.
+	if n := s.Place(TaskRef{}, view(3, 1, 2)); n != 1 {
+		t.Fatalf("placed on %d, want least-loaded 1", n)
+	}
+	// Deterministic tie-break: lowest node.
+	if n := s.Place(TaskRef{}, view(2, 2, 2)); n != 0 {
+		t.Fatalf("tie placed on %d, want 0", n)
+	}
+}
+
+func TestLIFOOrder(t *testing.T) {
+	s, _ := New(LIFO, 0)
+	q := &Queue{}
+	q.Push(TaskRef{ID: 1})
+	q.Push(TaskRef{ID: 2})
+	first, _ := s.Next(q)
+	if first.ID != 2 {
+		t.Fatalf("LIFO dispatched %d first", first.ID)
+	}
+}
+
+func TestLocalityPlacement(t *testing.T) {
+	s, _ := New(Locality, 0)
+	locs := map[string]int{"a": 2, "b": 2, "c": 0}
+	v := &View{
+		NumNodes: 4,
+		Load:     []int{0, 0, 0, 0},
+		Locate: func(k string) (int, bool) {
+			n, ok := locs[k]
+			return n, ok
+		},
+	}
+	task := TaskRef{Inputs: []DataLoc{
+		{Key: "a", Bytes: 100}, {Key: "b", Bytes: 100}, {Key: "c", Bytes: 150},
+	}}
+	// Node 2 holds 200 bytes vs node 0's 150.
+	if n := s.Place(task, v); n != 2 {
+		t.Fatalf("placed on %d, want data-richest node 2", n)
+	}
+	// Heavy load on the data-rich node shifts the decision.
+	v.Load = []int{0, 0, 9, 0}
+	if n := s.Place(task, v); n != 0 {
+		t.Fatalf("placed on %d, want node 0 once node 2 is loaded", n)
+	}
+	// No located inputs: least-loaded fallback.
+	vShared := view(5, 0, 3, 1)
+	if n := s.Place(task, vShared); n != 1 {
+		t.Fatalf("fallback placed on %d, want 1", n)
+	}
+}
+
+func TestOverheads(t *testing.T) {
+	p := costmodel.DefaultParams()
+	fifo, _ := New(FIFO, 0)
+	loc, _ := New(Locality, 0)
+	if fifo.Overhead(p) >= loc.Overhead(p) {
+		t.Fatal("locality decisions must cost more than generation-order (§3.2)")
+	}
+}
+
+func TestRandomSeededDeterministic(t *testing.T) {
+	run := func() []int {
+		s, _ := New(Random, 99)
+		var out []int
+		for i := 0; i < 16; i++ {
+			out = append(out, s.Place(TaskRef{}, view(0, 0, 0, 0)))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("seeded random scheduler is nondeterministic")
+		}
+		if a[i] < 0 || a[i] > 3 {
+			t.Fatalf("placement %d out of range", a[i])
+		}
+	}
+}
+
+func TestNewUnknownPolicy(t *testing.T) {
+	if _, err := New(Policy(42), 0); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	want := map[Policy]string{
+		FIFO: "task generation order", Locality: "data locality",
+		LIFO: "lifo", Random: "random",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", int(p), p.String(), s)
+		}
+	}
+	for _, p := range []Policy{FIFO, Locality, LIFO, Random} {
+		s, err := New(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Policy() != p {
+			t.Fatalf("Policy() = %v, want %v", s.Policy(), p)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// Package sim implements a deterministic discrete-event simulation (DES)
+// engine used to model the heterogeneous CPU-GPU cluster on which the
+// reproduced experiments run.
+//
+// The engine follows a coroutine style: simulated activities are written as
+// ordinary sequential Go functions (processes) that block on virtual-time
+// primitives — Wait, Server.Acquire, Link.Transfer — while the engine
+// advances a virtual clock through a cancellable event heap. Control is
+// handed between the engine goroutine and exactly one process goroutine at a
+// time, so simulations are fully deterministic: the same inputs always
+// produce the same event order and the same virtual timestamps, regardless
+// of GOMAXPROCS.
+//
+// Three primitives cover everything the cluster model needs:
+//
+//   - Engine: the virtual clock and event queue.
+//   - Server: a capacity-constrained resource with a FIFO wait queue
+//     (CPU cores, GPU devices, the scheduler master thread).
+//   - Link: a fluid-flow, fair-shared bandwidth resource (PCIe buses, node
+//     disks, NICs, the shared GPFS backend). Concurrent transfers share the
+//     bandwidth equally; rates are recomputed whenever a transfer starts or
+//     finishes, which models I/O contention at the granularity the paper's
+//     analysis needs (SimGrid-style fluid model).
+//
+// Virtual time is measured in float64 seconds.
+package sim

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback in virtual time. Events are created with
+// Engine.Schedule and may be cancelled before they fire.
+type Event struct {
+	at       float64
+	seq      uint64 // tie-breaker: FIFO among events at the same instant
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (ev *Event) Cancel() { ev.canceled = true }
+
+// Canceled reports whether Cancel was called on the event.
+func (ev *Event) Canceled() bool { return ev.canceled }
+
+// At returns the virtual time at which the event is scheduled to fire.
+func (ev *Event) At() float64 { return ev.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event simulator. The zero value is not
+// usable; construct with New.
+type Engine struct {
+	now    float64
+	events eventHeap
+	seq    uint64
+
+	// yield is the engine<->process handoff channel. A process goroutine
+	// sends one token when it parks or finishes; the engine (inside event
+	// dispatch) receives it. Unbuffered, so exactly one goroutine runs at a
+	// time and the simulation is deterministic.
+	yield chan struct{}
+
+	liveProcs   int // started and not yet finished
+	parkedProcs int // blocked on a resume channel
+
+	ran bool
+}
+
+// New returns an empty engine with the clock at 0.
+func New() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule registers fn to run after delay seconds of virtual time and
+// returns the event so it can be cancelled. A negative or NaN delay panics:
+// the simulated cluster never produces one, so it indicates a cost-model bug
+// that must not be silently clamped.
+func (e *Engine) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("sim: Schedule with invalid delay %v at t=%v", delay, e.now))
+	}
+	e.seq++
+	ev := &Event{at: e.now + delay, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Run executes events until the queue drains. It returns an error if the
+// queue drains while processes are still parked (a deadlock: some process
+// waits for a resource that will never be released). Run may only be called
+// once per engine.
+func (e *Engine) Run() error {
+	if e.ran {
+		return fmt.Errorf("sim: Run called twice")
+	}
+	e.ran = true
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at < e.now {
+			return fmt.Errorf("sim: time went backwards: %v < %v", ev.at, e.now)
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.parkedProcs > 0 {
+		return fmt.Errorf("sim: deadlock: %d process(es) parked with no pending events at t=%v",
+			e.parkedProcs, e.now)
+	}
+	return nil
+}
+
+// Pending returns the number of events currently scheduled (including
+// cancelled events that have not yet been popped).
+func (e *Engine) Pending() int { return len(e.events) }

@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// completionEpsilon is the residual byte count below which a flow is
+// considered finished; it absorbs float64 drift from repeated rate
+// recomputation.
+const completionEpsilon = 1e-6
+
+// Link is a fluid-flow bandwidth resource: all active transfers progress
+// simultaneously, sharing the link's bandwidth equally. Whenever a transfer
+// starts or finishes, the per-flow rate is recomputed and the next
+// completion is rescheduled. This is the classic fluid ("TCP fair share")
+// model used by network/storage simulators; it captures the contention
+// effects the paper measures — an abundance of concurrent readers slows
+// every reader down — without simulating individual blocks or packets.
+//
+// Link models PCIe buses, node-local disks, NICs and the shared GPFS
+// backend. Latency, if non-zero, is a per-transfer startup delay paid before
+// the flow joins the shared pipe (seek/RPC/DMA-setup time).
+type Link struct {
+	eng     *Engine
+	name    string
+	bw      float64 // bytes per second
+	latency float64 // seconds per transfer
+
+	active     []*flow // insertion order: deterministic completion handling
+	lastUpdate float64
+	next       *Event // pending completion event, nil if no active flows
+	target     *flow  // the flow the pending completion event drains
+
+	bytesMoved float64 // total bytes fully transferred
+	transfers  uint64
+	busyInt    float64 // ∫ [active>0] dt
+	busySince  float64 // valid when len(active)>0
+}
+
+type flow struct {
+	remaining float64
+	total     float64
+	proc      *Proc
+}
+
+// NewLink creates a link with the given bandwidth (bytes/second) and
+// per-transfer latency (seconds). Bandwidth must be positive and finite;
+// latency must be non-negative.
+func NewLink(e *Engine, name string, bandwidth, latency float64) *Link {
+	if bandwidth <= 0 || math.IsInf(bandwidth, 0) || math.IsNaN(bandwidth) {
+		panic(fmt.Sprintf("sim: link %q with invalid bandwidth %v", name, bandwidth))
+	}
+	if latency < 0 || math.IsNaN(latency) {
+		panic(fmt.Sprintf("sim: link %q with invalid latency %v", name, latency))
+	}
+	return &Link{eng: e, name: name, bw: bandwidth, latency: latency}
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Bandwidth returns the link's total bandwidth in bytes per second.
+func (l *Link) Bandwidth() float64 { return l.bw }
+
+// Latency returns the per-transfer startup latency in seconds.
+func (l *Link) Latency() float64 { return l.latency }
+
+// Active returns the number of flows currently sharing the link.
+func (l *Link) Active() int { return len(l.active) }
+
+// BytesMoved returns the total bytes completed over the link.
+func (l *Link) BytesMoved() float64 { return l.bytesMoved }
+
+// Transfers returns the number of completed transfers.
+func (l *Link) Transfers() uint64 { return l.transfers }
+
+// BusyTime returns the total virtual time during which at least one flow was
+// active on the link.
+func (l *Link) BusyTime() float64 {
+	b := l.busyInt
+	if len(l.active) > 0 {
+		b += l.eng.now - l.busySince
+	}
+	return b
+}
+
+// rate returns the current per-flow rate in bytes/second.
+func (l *Link) rate() float64 { return l.bw / float64(len(l.active)) }
+
+// advance applies progress to all active flows for the time elapsed since
+// the last update.
+func (l *Link) advance() {
+	if len(l.active) > 0 {
+		progressed := (l.eng.now - l.lastUpdate) * l.rate()
+		for _, f := range l.active {
+			f.remaining -= progressed
+		}
+	}
+	l.lastUpdate = l.eng.now
+}
+
+// reschedule cancels any pending completion event and schedules one that
+// drains the earliest-finishing active flow. The rate is constant between
+// membership changes, so at the event instant that flow's remainder is zero
+// up to float64 drift; complete forces it to zero, which guarantees
+// progress even when the delay is too small to advance the clock (a tiny
+// residue absorbed by now+delay == now would otherwise livelock).
+func (l *Link) reschedule() {
+	if l.next != nil {
+		l.next.Cancel()
+		l.next = nil
+		l.target = nil
+	}
+	if len(l.active) == 0 {
+		return
+	}
+	minFlow := l.active[0]
+	for _, f := range l.active[1:] {
+		if f.remaining < minFlow.remaining {
+			minFlow = f
+		}
+	}
+	delay := minFlow.remaining / l.rate()
+	if delay < 0 {
+		delay = 0
+	}
+	l.target = minFlow
+	l.next = l.eng.Schedule(delay, l.complete)
+}
+
+// complete fires when the target flow has drained; it removes the target
+// plus any other flow within float64 drift of empty, wakes their processes
+// in insertion order, and reschedules the remainder.
+func (l *Link) complete() {
+	l.next = nil
+	if l.target != nil {
+		l.target.remaining = 0
+	}
+	l.target = nil
+	l.advance()
+	kept := l.active[:0]
+	for _, f := range l.active {
+		if f.remaining <= completionEpsilon+1e-12*f.total {
+			l.transfers++
+			l.bytesMoved += f.total
+			f.proc.unpark()
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	for i := len(kept); i < len(l.active); i++ {
+		l.active[i] = nil
+	}
+	l.active = kept
+	if len(l.active) == 0 {
+		l.busyInt += l.eng.now - l.busySince
+	}
+	l.reschedule()
+}
+
+// Transfer moves bytes over the link on behalf of process p, blocking in
+// virtual time until the transfer completes. Concurrent transfers share the
+// bandwidth equally. A zero-byte transfer pays only the latency.
+func (l *Link) Transfer(p *Proc, bytes float64) {
+	if bytes < 0 || math.IsNaN(bytes) {
+		panic(fmt.Sprintf("sim: transfer of %v bytes on link %q", bytes, l.name))
+	}
+	if l.latency > 0 {
+		p.Wait(l.latency)
+	}
+	if bytes == 0 {
+		l.transfers++
+		return
+	}
+	l.advance()
+	if len(l.active) == 0 {
+		l.busySince = l.eng.now
+	}
+	f := &flow{remaining: bytes, total: bytes, proc: p}
+	l.active = append(l.active, f)
+	l.reschedule()
+	p.park()
+}

@@ -1,0 +1,70 @@
+package sim
+
+// Proc is a simulated process: a sequential function executing in virtual
+// time. Procs are created with Engine.Go and may block on Wait,
+// Server.Acquire and Link.Transfer. All Proc methods must be called from the
+// process's own goroutine.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+}
+
+// Go starts fn as a simulated process at the current virtual time. The name
+// is used in diagnostics only. Go may be called both from outside Run (to
+// seed the simulation) and from a running process or event callback.
+func (e *Engine) Go(name string, fn func(p *Proc)) {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.liveProcs++
+	e.Schedule(0, func() {
+		go func() {
+			fn(p)
+			e.liveProcs--
+			e.yield <- struct{}{} // hand control back: process finished
+		}()
+		<-e.yield // wait until the new process parks or finishes
+	})
+}
+
+// Engine returns the engine the process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the diagnostic name given to Engine.Go.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.eng.now }
+
+// park blocks the process until another event resumes it via unpark. It
+// must only be called with a wake-up already arranged (a scheduled event or
+// a queue registration), otherwise Run reports a deadlock.
+func (p *Proc) park() {
+	p.eng.parkedProcs++
+	p.eng.yield <- struct{}{} // give control back to the engine
+	<-p.resume                // wait to be woken
+	p.eng.parkedProcs--
+}
+
+// unpark schedules an event at the current instant that transfers control to
+// the parked process. It must be called from the engine side (an event
+// callback) or from another process; never from the parked process itself.
+func (p *Proc) unpark() {
+	p.eng.Schedule(0, func() {
+		p.resume <- struct{}{} // wake the process
+		<-p.eng.yield          // wait until it parks again or finishes
+	})
+}
+
+// Wait advances the process by d seconds of virtual time. d must be
+// non-negative; zero is allowed and yields to other events scheduled at the
+// same instant.
+func (p *Proc) Wait(d float64) {
+	p.eng.Schedule(d, func() {
+		p.resume <- struct{}{}
+		<-p.eng.yield
+	})
+	p.eng.parkedProcs++
+	p.eng.yield <- struct{}{}
+	<-p.resume
+	p.eng.parkedProcs--
+}

@@ -1,0 +1,153 @@
+// Package stats implements the statistical tooling of the paper's §5.4
+// correlation analysis: Spearman rank correlation (chosen by the authors
+// for robustness to non-linear relationships), tie-aware ranking, one-hot
+// encoding of categorical factors, and a correlation-matrix container.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Rank returns the 1-based ranks of xs, assigning tied values the average
+// of their positional ranks (fractional ranking), as Spearman requires.
+func Rank(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// positions i..j (0-based) share the average rank.
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// series, or NaN when either series has zero variance.
+func Pearson(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n == 0 {
+		return math.NaN()
+	}
+	var mx, my float64
+	for i := 0; i < n; i++ {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation of two equal-length
+// series: the Pearson correlation of their fractional ranks. The result is
+// in [-1, 1], or NaN for degenerate inputs.
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return math.NaN()
+	}
+	return Pearson(Rank(xs), Rank(ys))
+}
+
+// OneHot expands a categorical column into one indicator column per
+// distinct value (sorted for determinism). This is how the paper encodes
+// processor type, storage architecture and scheduling policy before
+// correlating them (§5.4).
+func OneHot(values []string) (names []string, columns [][]float64) {
+	set := map[string]bool{}
+	for _, v := range values {
+		set[v] = true
+	}
+	names = make([]string, 0, len(set))
+	for v := range set {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	columns = make([][]float64, len(names))
+	for i, name := range names {
+		col := make([]float64, len(values))
+		for j, v := range values {
+			if v == name {
+				col[j] = 1
+			}
+		}
+		columns[i] = col
+	}
+	return names, columns
+}
+
+// Matrix is a symmetric correlation matrix over named features.
+type Matrix struct {
+	Names []string
+	// R[i][j] is the correlation of feature i with feature j.
+	R [][]float64
+}
+
+// CorrelationMatrix computes the pairwise Spearman matrix of the given
+// feature columns. All columns must have equal length.
+func CorrelationMatrix(names []string, cols [][]float64) (*Matrix, error) {
+	if len(names) != len(cols) {
+		return nil, fmt.Errorf("stats: %d names for %d columns", len(names), len(cols))
+	}
+	n := len(cols)
+	for i := 1; i < n; i++ {
+		if len(cols[i]) != len(cols[0]) {
+			return nil, fmt.Errorf("stats: column %q has %d samples, want %d",
+				names[i], len(cols[i]), len(cols[0]))
+		}
+	}
+	m := &Matrix{Names: names, R: make([][]float64, n)}
+	ranks := make([][]float64, n)
+	for i := range cols {
+		ranks[i] = Rank(cols[i])
+	}
+	for i := 0; i < n; i++ {
+		m.R[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			r := Pearson(ranks[i], ranks[j])
+			m.R[i][j] = r
+			m.R[j][i] = r
+		}
+	}
+	return m, nil
+}
+
+// At returns the correlation between two named features.
+func (m *Matrix) At(a, b string) (float64, error) {
+	ia, ib := -1, -1
+	for i, n := range m.Names {
+		if n == a {
+			ia = i
+		}
+		if n == b {
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 {
+		return 0, fmt.Errorf("stats: unknown feature %q/%q", a, b)
+	}
+	return m.R[ia][ib], nil
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRankSimple(t *testing.T) {
+	got := Rank([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRankTies(t *testing.T) {
+	// Tied values take the average of their positional ranks.
+	got := Rank([]float64{1, 2, 2, 3})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+	got = Rank([]float64{5, 5, 5})
+	for _, r := range got {
+		if r != 2 {
+			t.Fatalf("all-ties ranks = %v, want all 2", got)
+		}
+	}
+}
+
+func TestSpearmanKnownValues(t *testing.T) {
+	// Perfect monotone (non-linear) relation: rho = 1 even though Pearson
+	// on raw values would be < 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	if got := Spearman(xs, ys); !close(got, 1, 1e-12) {
+		t.Fatalf("rho = %v, want 1", got)
+	}
+	// Perfect inverse.
+	ys2 := []float64{10, 8, 6, 4, 2}
+	if got := Spearman(xs, ys2); !close(got, -1, 1e-12) {
+		t.Fatalf("rho = %v, want -1", got)
+	}
+	// Hand-computed example with a swap: xs vs {1,3,2,4,5}.
+	// d = {0,1,1,0,0}, Σd² = 2, rho = 1 - 6·2/(5·24) = 0.9.
+	ys3 := []float64{1, 3, 2, 4, 5}
+	if got := Spearman(xs, ys3); !close(got, 0.9, 1e-12) {
+		t.Fatalf("rho = %v, want 0.9", got)
+	}
+}
+
+func TestSpearmanDegenerate(t *testing.T) {
+	if !math.IsNaN(Spearman([]float64{1, 2}, []float64{1})) {
+		t.Fatal("length mismatch must be NaN")
+	}
+	if !math.IsNaN(Spearman(nil, nil)) {
+		t.Fatal("empty must be NaN")
+	}
+	if !math.IsNaN(Spearman([]float64{3, 3, 3}, []float64{1, 2, 3})) {
+		t.Fatal("constant series must be NaN")
+	}
+}
+
+func TestSpearmanProperties(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%30 + 3
+		rng := rand.New(rand.NewPCG(seed, 11))
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+			ys[i] = rng.Float64() * 100
+		}
+		rho := Spearman(xs, ys)
+		if math.IsNaN(rho) {
+			return false
+		}
+		// In range.
+		if rho < -1-1e-12 || rho > 1+1e-12 {
+			return false
+		}
+		// Symmetry.
+		if !close(rho, Spearman(ys, xs), 1e-12) {
+			return false
+		}
+		// Invariance under strictly monotone transforms of either input.
+		tx := make([]float64, n)
+		for i := range xs {
+			tx[i] = math.Exp(xs[i] / 25)
+		}
+		if !close(rho, Spearman(tx, ys), 1e-9) {
+			return false
+		}
+		// Self-correlation is exactly 1.
+		return close(Spearman(xs, xs), 1, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearsonKnown(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{2, 4, 6}
+	if got := Pearson(xs, ys); !close(got, 1, 1e-12) {
+		t.Fatalf("pearson = %v, want 1", got)
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	names, cols := OneHot([]string{"CPU", "GPU", "CPU", "GPU", "GPU"})
+	if len(names) != 2 || names[0] != "CPU" || names[1] != "GPU" {
+		t.Fatalf("names = %v", names)
+	}
+	wantCPU := []float64{1, 0, 1, 0, 0}
+	for i := range wantCPU {
+		if cols[0][i] != wantCPU[i] {
+			t.Fatalf("CPU column = %v", cols[0])
+		}
+		if cols[0][i]+cols[1][i] != 1 {
+			t.Fatal("one-hot columns must sum to 1 per row")
+		}
+	}
+}
+
+func TestOneHotComplementAnticorrelated(t *testing.T) {
+	// The paper's matrix shows CPU and GPU perfectly anti-correlated
+	// (-1.0); that must fall out of one-hot + Spearman.
+	_, cols := OneHot([]string{"CPU", "GPU", "CPU", "GPU"})
+	if got := Spearman(cols[0], cols[1]); !close(got, -1, 1e-12) {
+		t.Fatalf("rho(CPU, GPU) = %v, want -1", got)
+	}
+}
+
+func TestCorrelationMatrix(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	cols := [][]float64{
+		{1, 2, 3, 4},
+		{2, 4, 6, 8}, // same ranks as a
+		{8, 6, 4, 2}, // inverse
+	}
+	m, err := CorrelationMatrix(names, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab, _ := m.At("a", "b"); !close(ab, 1, 1e-12) {
+		t.Fatalf("r(a,b) = %v", ab)
+	}
+	if ac, _ := m.At("a", "c"); !close(ac, -1, 1e-12) {
+		t.Fatalf("r(a,c) = %v", ac)
+	}
+	for i := range names {
+		if !close(m.R[i][i], 1, 1e-12) {
+			t.Fatalf("diagonal %d = %v", i, m.R[i][i])
+		}
+		for j := range names {
+			if m.R[i][j] != m.R[j][i] {
+				t.Fatal("matrix not symmetric")
+			}
+		}
+	}
+	if _, err := m.At("a", "zzz"); err == nil {
+		t.Fatal("unknown feature accepted")
+	}
+}
+
+func TestCorrelationMatrixErrors(t *testing.T) {
+	if _, err := CorrelationMatrix([]string{"a"}, nil); err == nil {
+		t.Fatal("mismatched names/cols accepted")
+	}
+	if _, err := CorrelationMatrix([]string{"a", "b"}, [][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged columns accepted")
+	}
+}

@@ -1,0 +1,162 @@
+// Package storage implements the two storage architectures the paper
+// compares (§3.4, Figure 10): node-local disks and a shared file system
+// (GPFS). Both expose block reads and writes as simulated I/O over the
+// cluster's contended links, plus the block-location metadata the
+// data-locality scheduler consults.
+//
+// With local disks, a block read from the node that holds it costs only
+// that node's disk; a remote read streams disk → network (owner's NIC and
+// reader's NIC both traversed). With the shared architecture, every access
+// crosses the reader's NIC and the cluster-wide GPFS backend pipe, adding
+// the network latency and resource contention the paper attributes to
+// shared disks.
+package storage
+
+import (
+	"fmt"
+
+	"wfsim/internal/cluster"
+	"wfsim/internal/sim"
+)
+
+// Architecture enumerates the paper's storage factor (Table 1, factor g).
+type Architecture int
+
+const (
+	// Shared is the decoupled processing/storage architecture (GPFS) —
+	// the paper's default.
+	Shared Architecture = iota
+	// Local uses node-local disks.
+	Local
+)
+
+func (a Architecture) String() string {
+	if a == Local {
+		return "local disk"
+	}
+	return "shared disk"
+}
+
+// System is a simulated storage architecture.
+type System interface {
+	// Arch identifies the architecture.
+	Arch() Architecture
+	// Place records the initial location of a block (Local) or its
+	// presence on the backend (Shared). Node is ignored for Shared.
+	Place(key string, node int)
+	// Location returns the node holding the block and true, or -1 and
+	// false when the block has no node affinity (shared storage or
+	// unknown key). The data-locality scheduler uses this.
+	Location(key string) (int, bool)
+	// Read streams the block's bytes to the reader node, blocking p in
+	// virtual time, and returns the I/O duration.
+	Read(p *sim.Proc, reader *cluster.Node, key string, bytes float64) float64
+	// Write streams bytes from the writer node to storage, records the
+	// new block location, and returns the I/O duration.
+	Write(p *sim.Proc, writer *cluster.Node, key string, bytes float64) float64
+}
+
+// LocalDisks is the node-local architecture.
+type LocalDisks struct {
+	c   *cluster.Cluster
+	loc map[string]int
+}
+
+// NewLocal creates a local-disk system over the cluster.
+func NewLocal(c *cluster.Cluster) *LocalDisks {
+	return &LocalDisks{c: c, loc: make(map[string]int)}
+}
+
+// Arch implements System.
+func (l *LocalDisks) Arch() Architecture { return Local }
+
+// Place implements System.
+func (l *LocalDisks) Place(key string, node int) { l.loc[key] = node }
+
+// Location implements System.
+func (l *LocalDisks) Location(key string) (int, bool) {
+	n, ok := l.loc[key]
+	if !ok {
+		return -1, false
+	}
+	return n, true
+}
+
+// Read implements System. Local hits cost the node disk; remote reads
+// stream through the owner's disk, the owner's NIC and the reader's NIC.
+func (l *LocalDisks) Read(p *sim.Proc, reader *cluster.Node, key string, bytes float64) float64 {
+	start := p.Now()
+	owner, ok := l.loc[key]
+	if !ok {
+		owner = reader.ID // unplaced data is treated as local scratch
+	}
+	if owner == reader.ID {
+		reader.Disk.Transfer(p, bytes)
+	} else {
+		ownerNode := l.c.Node(owner)
+		ownerNode.Disk.Transfer(p, bytes)
+		ownerNode.NIC.Transfer(p, bytes)
+		reader.NIC.Transfer(p, bytes)
+	}
+	return p.Now() - start
+}
+
+// Write implements System. Output blocks land on the writer's local disk,
+// which is what makes locality scheduling matter downstream.
+func (l *LocalDisks) Write(p *sim.Proc, writer *cluster.Node, key string, bytes float64) float64 {
+	start := p.Now()
+	writer.Disk.Transfer(p, bytes)
+	l.loc[key] = writer.ID
+	return p.Now() - start
+}
+
+// SharedDisk is the GPFS-style decoupled architecture.
+type SharedDisk struct {
+	c     *cluster.Cluster
+	known map[string]bool
+}
+
+// NewShared creates a shared-disk system over the cluster.
+func NewShared(c *cluster.Cluster) *SharedDisk {
+	return &SharedDisk{c: c, known: make(map[string]bool)}
+}
+
+// Arch implements System.
+func (s *SharedDisk) Arch() Architecture { return Shared }
+
+// Place implements System.
+func (s *SharedDisk) Place(key string, node int) { s.known[key] = true }
+
+// Location implements System: shared storage has no node affinity, so the
+// locality scheduler gets no signal — matching the paper's finding that
+// scheduling-policy changes behave differently on shared disk.
+func (s *SharedDisk) Location(key string) (int, bool) { return -1, false }
+
+// Read implements System: reader NIC + shared backend, both contended.
+func (s *SharedDisk) Read(p *sim.Proc, reader *cluster.Node, key string, bytes float64) float64 {
+	start := p.Now()
+	reader.NIC.Transfer(p, bytes)
+	s.c.Shared.Transfer(p, bytes)
+	return p.Now() - start
+}
+
+// Write implements System.
+func (s *SharedDisk) Write(p *sim.Proc, writer *cluster.Node, key string, bytes float64) float64 {
+	start := p.Now()
+	writer.NIC.Transfer(p, bytes)
+	s.c.Shared.Transfer(p, bytes)
+	s.known[key] = true
+	return p.Now() - start
+}
+
+// New constructs the architecture selected by arch.
+func New(arch Architecture, c *cluster.Cluster) (System, error) {
+	switch arch {
+	case Local:
+		return NewLocal(c), nil
+	case Shared:
+		return NewShared(c), nil
+	default:
+		return nil, fmt.Errorf("storage: unknown architecture %d", arch)
+	}
+}

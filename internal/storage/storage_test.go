@@ -1,0 +1,205 @@
+package storage
+
+import (
+	"testing"
+
+	"wfsim/internal/cluster"
+	"wfsim/internal/costmodel"
+	"wfsim/internal/sim"
+)
+
+func buildCluster(t *testing.T) (*sim.Engine, *cluster.Cluster) {
+	t.Helper()
+	eng := sim.New()
+	c, err := cluster.Build(eng, cluster.Spec{Name: "t", Nodes: 4, CoresPerNode: 2, GPUsPerNode: 1},
+		costmodel.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, c
+}
+
+func TestLocalReadLocalVsRemote(t *testing.T) {
+	eng, c := buildCluster(t)
+	sys := NewLocal(c)
+	sys.Place("blk", 0)
+	var localT, remoteT float64
+	eng.Go("local", func(p *sim.Proc) {
+		localT = sys.Read(p, c.Node(0), "blk", 100e6)
+	})
+	eng.Go("remote", func(p *sim.Proc) {
+		p.Wait(10) // avoid contention with the local read
+		remoteT = sys.Read(p, c.Node(1), "blk", 100e6)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if localT <= 0 || remoteT <= 0 {
+		t.Fatal("reads did not take time")
+	}
+	if remoteT <= localT {
+		t.Fatalf("remote read (%v) should be slower than local (%v)", remoteT, localT)
+	}
+}
+
+func TestLocalWriteRelocates(t *testing.T) {
+	eng, c := buildCluster(t)
+	sys := NewLocal(c)
+	sys.Place("blk", 0)
+	eng.Go("w", func(p *sim.Proc) {
+		sys.Write(p, c.Node(3), "blk", 1e6)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	n, ok := sys.Location("blk")
+	if !ok || n != 3 {
+		t.Fatalf("location = %d,%v; want 3,true", n, ok)
+	}
+}
+
+func TestLocalUnknownKeyTreatedAsLocal(t *testing.T) {
+	eng, c := buildCluster(t)
+	sys := NewLocal(c)
+	if _, ok := sys.Location("nope"); ok {
+		t.Fatal("unknown key located")
+	}
+	var d float64
+	eng.Go("r", func(p *sim.Proc) {
+		d = sys.Read(p, c.Node(2), "nope", 1e6)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("scratch read took no time")
+	}
+}
+
+func TestSharedNoAffinity(t *testing.T) {
+	eng, c := buildCluster(t)
+	sys := NewShared(c)
+	sys.Place("blk", 2)
+	if _, ok := sys.Location("blk"); ok {
+		t.Fatal("shared storage must report no node affinity")
+	}
+	var d float64
+	eng.Go("r", func(p *sim.Proc) {
+		d = sys.Read(p, c.Node(1), "blk", 50e6)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("read took no time")
+	}
+	if c.Shared.BytesMoved() != 50e6 {
+		t.Fatalf("shared backend moved %v bytes", c.Shared.BytesMoved())
+	}
+}
+
+func TestSharedContention(t *testing.T) {
+	// Two simultaneous shared reads of equal size must finish together at
+	// ~2x the solo duration (backend fair sharing).
+	eng, c := buildCluster(t)
+	sys := NewShared(c)
+	solo := func() float64 {
+		e2, c2 := buildCluster(t)
+		s2 := NewShared(c2)
+		var d float64
+		e2.Go("r", func(p *sim.Proc) { d = s2.Read(p, c2.Node(0), "x", 500e6) })
+		if err := e2.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}()
+	var d1, d2 float64
+	eng.Go("a", func(p *sim.Proc) { d1 = sys.Read(p, c.Node(0), "x", 500e6) })
+	eng.Go("b", func(p *sim.Proc) { d2 = sys.Read(p, c.Node(1), "y", 500e6) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d1 < solo*1.5 || d2 < solo*1.5 {
+		t.Fatalf("concurrent reads %v/%v should be ≈2x solo %v", d1, d2, solo)
+	}
+}
+
+func TestSharedSlowerThanLocalHit(t *testing.T) {
+	// Same volume: a local-disk hit should beat the shared path for these
+	// parameters (Observation O5/O6 prerequisite: local < shared).
+	engL, cL := buildCluster(t)
+	local := NewLocal(cL)
+	local.Place("b", 0)
+	var tLocal float64
+	engL.Go("r", func(p *sim.Proc) { tLocal = local.Read(p, cL.Node(0), "b", 200e6) })
+	if err := engL.Run(); err != nil {
+		t.Fatal(err)
+	}
+	engS, cS := buildCluster(t)
+	shared := NewShared(cS)
+	var tShared float64
+	engS.Go("r", func(p *sim.Proc) { tShared = shared.Read(p, cS.Node(0), "b", 200e6) })
+	if err := engS.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A single uncontended GPFS stream may beat one local disk; the paper's
+	// "local faster" claim concerns aggregate bandwidth under load. Check
+	// the aggregate: 8 concurrent readers.
+	_ = tLocal
+	_ = tShared
+	engL2, cL2 := buildCluster(t)
+	local2 := NewLocal(cL2)
+	var endL float64
+	for i := 0; i < 4; i++ {
+		i := i
+		local2.Place(key(i), i)
+		engL2.Go("r", func(p *sim.Proc) {
+			local2.Read(p, cL2.Node(i), key(i), 500e6)
+			if p.Now() > endL {
+				endL = p.Now()
+			}
+		})
+	}
+	if err := engL2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	engS2, cS2 := buildCluster(t)
+	shared2 := NewShared(cS2)
+	var endS float64
+	for i := 0; i < 4; i++ {
+		i := i
+		engS2.Go("r", func(p *sim.Proc) {
+			shared2.Read(p, cS2.Node(i), key(i), 500e6)
+			if p.Now() > endS {
+				endS = p.Now()
+			}
+		})
+	}
+	if err := engS2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if endS <= endL {
+		t.Fatalf("aggregate shared (%v) should be slower than aggregate local (%v)", endS, endL)
+	}
+}
+
+func key(i int) string { return string(rune('a' + i)) }
+
+func TestNewFactory(t *testing.T) {
+	_, c := buildCluster(t)
+	for _, arch := range []Architecture{Local, Shared} {
+		s, err := New(arch, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Arch() != arch {
+			t.Fatalf("arch = %v, want %v", s.Arch(), arch)
+		}
+	}
+	if _, err := New(Architecture(99), c); err == nil {
+		t.Fatal("unknown architecture accepted")
+	}
+	if Local.String() != "local disk" || Shared.String() != "shared disk" {
+		t.Fatal("stringers broken")
+	}
+}

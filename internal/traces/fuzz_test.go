@@ -1,0 +1,36 @@
+package traces
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse ensures the trace parser never panics and that accepted
+// records always satisfy basic invariants, whatever bytes arrive (traces
+// may come from foreign tools).
+func FuzzParse(f *testing.F) {
+	f.Add(sampleTrace)
+	f.Add("")
+	f.Add("#Paraver header only\n")
+	f.Add("1:1:1:1:1:0:100:2\n")
+	f.Add("1:1:1:1:1:0:100\n")
+	f.Add("2:9:9:9\n")
+	f.Add("1:-1:1:1:1:-5:100:2\n")
+	f.Add(strings.Repeat("1:1:1:1:1:0:1:1\n", 100))
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		for _, r := range tr.Records {
+			if r.EndNS < r.StartNS {
+				t.Fatalf("accepted negative interval: %+v", r)
+			}
+		}
+		// Aggregates must not panic on any accepted trace.
+		_ = tr.StateTotals()
+		_, _ = tr.Span()
+		_ = tr.BusiestCores(3)
+		_ = tr.MeanPerCore(1)
+	})
+}

@@ -1,0 +1,193 @@
+// Package traces reads and analyzes Paraver-style state traces — the
+// instrumentation format the paper extracted its (de)serialization timings
+// from (§4.4.3, via the Paraver toolchain on PyCOMPSs-generated traces).
+//
+// The format understood here is the state-record subset emitted by
+// metrics.Collector.WritePRV:
+//
+//	#Paraver (header)
+//	1:<core>:<appl>:<task>:<thread>:<start_ns>:<end_ns>:<state>
+//
+// An Analyzer recomputes, from the raw trace alone, the same aggregate
+// views the paper builds in Paraver: total and per-core time in each
+// state, state histograms, and busiest-core rankings. Round-tripping a
+// simulation through WritePRV and this parser is tested to preserve every
+// stage duration.
+package traces
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is one state interval of one (core, task) pair.
+type Record struct {
+	Core    int
+	Task    int
+	StartNS int64
+	EndNS   int64
+	State   int
+}
+
+// Duration returns the record length in nanoseconds.
+func (r Record) Duration() int64 { return r.EndNS - r.StartNS }
+
+// Trace is a parsed Paraver state trace.
+type Trace struct {
+	Header  string
+	Records []Record
+}
+
+// Parse reads a state trace. Unknown record types (events, communications)
+// are skipped, matching Paraver's tolerance; malformed state records are
+// errors.
+func Parse(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	t := &Trace{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if t.Header == "" {
+				t.Header = line
+			}
+			continue
+		}
+		fields := strings.Split(line, ":")
+		if fields[0] != "1" { // not a state record
+			continue
+		}
+		if len(fields) != 8 {
+			return nil, fmt.Errorf("traces: line %d: state record has %d fields, want 8", lineNo, len(fields))
+		}
+		rec := Record{}
+		var err error
+		parse := func(s string) int64 {
+			if err != nil {
+				return 0
+			}
+			var v int64
+			v, err = strconv.ParseInt(s, 10, 64)
+			return v
+		}
+		rec.Core = int(parse(fields[1]))
+		rec.Task = int(parse(fields[3]))
+		rec.StartNS = parse(fields[5])
+		rec.EndNS = parse(fields[6])
+		rec.State = int(parse(fields[7]))
+		if err != nil {
+			return nil, fmt.Errorf("traces: line %d: %v", lineNo, err)
+		}
+		if rec.EndNS < rec.StartNS {
+			return nil, fmt.Errorf("traces: line %d: negative interval", lineNo)
+		}
+		t.Records = append(t.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("traces: %w", err)
+	}
+	return t, nil
+}
+
+// Span returns the trace's [min start, max end] window in nanoseconds.
+func (t *Trace) Span() (start, end int64) {
+	if len(t.Records) == 0 {
+		return 0, 0
+	}
+	start, end = t.Records[0].StartNS, t.Records[0].EndNS
+	for _, r := range t.Records[1:] {
+		if r.StartNS < start {
+			start = r.StartNS
+		}
+		if r.EndNS > end {
+			end = r.EndNS
+		}
+	}
+	return start, end
+}
+
+// StateTotals returns the total nanoseconds spent in each state across all
+// cores — Paraver's state profile.
+func (t *Trace) StateTotals() map[int]int64 {
+	out := make(map[int]int64)
+	for _, r := range t.Records {
+		out[r.State] += r.Duration()
+	}
+	return out
+}
+
+// PerCoreState returns, per core, the total nanoseconds in the given state
+// — the view the paper uses for its per-core (de)serialization metric.
+func (t *Trace) PerCoreState(state int) map[int]int64 {
+	out := make(map[int]int64)
+	for _, r := range t.Records {
+		if r.State == state {
+			out[r.Core] += r.Duration()
+		}
+	}
+	return out
+}
+
+// MeanPerCore returns the mean per-active-core time in the given state, in
+// seconds.
+func (t *Trace) MeanPerCore(state int) float64 {
+	per := t.PerCoreState(state)
+	if len(per) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, v := range per {
+		sum += v
+	}
+	return float64(sum) / float64(len(per)) / 1e9
+}
+
+// BusiestCores returns up to n (core, busy-ns) pairs sorted by decreasing
+// total state time — a load-imbalance view.
+func (t *Trace) BusiestCores(n int) []CoreLoad {
+	per := make(map[int]int64)
+	for _, r := range t.Records {
+		per[r.Core] += r.Duration()
+	}
+	out := make([]CoreLoad, 0, len(per))
+	for c, v := range per {
+		out = append(out, CoreLoad{Core: c, BusyNS: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].BusyNS != out[j].BusyNS {
+			return out[i].BusyNS > out[j].BusyNS
+		}
+		return out[i].Core < out[j].Core
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// CoreLoad is a core's aggregate busy time.
+type CoreLoad struct {
+	Core   int
+	BusyNS int64
+}
+
+// Histogram buckets state durations into bins of width ns; the result maps
+// bin index -> count. Paraver's 2D histograms reduce to this per state.
+func (t *Trace) Histogram(state int, binNS int64) map[int64]int {
+	out := make(map[int64]int)
+	for _, r := range t.Records {
+		if r.State == state {
+			out[r.Duration()/binNS]++
+		}
+	}
+	return out
+}

@@ -11,10 +11,14 @@ package wfsim_test
 // observations_test.go); these benches measure and report.
 
 import (
+	"context"
+	"fmt"
+	goruntime "runtime"
 	"testing"
 
 	"wfsim"
 	"wfsim/internal/experiments"
+	"wfsim/internal/runner"
 	"wfsim/internal/sim"
 	"wfsim/internal/stats"
 )
@@ -27,7 +31,9 @@ func runExperiment(b *testing.B, id string) experiments.Result {
 	}
 	var res experiments.Result
 	for i := 0; i < b.N; i++ {
-		res, err = e.Run()
+		// A fresh engine per iteration: memoization must not carry results
+		// across iterations, or every iteration after the first is a no-op.
+		res, err = e.Run(context.Background(), runner.New(0))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,6 +149,26 @@ func BenchmarkFig12(b *testing.B) {
 // BenchmarkTable1 regenerates Table 1 (trivially: it is a taxonomy).
 func BenchmarkTable1(b *testing.B) {
 	runExperiment(b, "table1")
+}
+
+// BenchmarkRunnerFig11 measures the trial-runner engine on the widest
+// sweep in the suite (the 192-sample Figure 11 design) at serial vs
+// all-core parallelism. The j1/jN ratio is the engine's wall-clock win;
+// on a single-core machine the two coincide.
+func BenchmarkRunnerFig11(b *testing.B) {
+	for _, j := range []int{1, goruntime.NumCPU()} {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cells, _, err := experiments.CollectFig11Cells(context.Background(), runner.New(j))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(cells) == 0 {
+					b.Fatal("no cells")
+				}
+			}
+		})
+	}
 }
 
 // --- Substrate micro-benchmarks: the simulator itself must be fast

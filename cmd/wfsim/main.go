@@ -4,7 +4,7 @@
 // Usage:
 //
 //	wfsim list                         list available experiments
-//	wfsim run <id> [...]               run experiments by ID (fig1, fig7a, ... table1, all)
+//	wfsim run [-j N] <id> [...]        run experiments by ID (fig1, fig7a, ... table1, all)
 //	wfsim dag <kmeans|matmul|fma> [-grid g] [-iters n]
 //	                                   emit the workload DAG as Graphviz DOT (Figure 6)
 //	wfsim sweep [-alg kmeans|matmul] [-dataset small|large|tiny]
@@ -13,10 +13,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"wfsim/internal/apps/kmeans"
@@ -24,6 +28,7 @@ import (
 	"wfsim/internal/dataset"
 	"wfsim/internal/experiments"
 	"wfsim/internal/model"
+	"wfsim/internal/runner"
 	"wfsim/internal/runtime"
 	"wfsim/internal/tables"
 
@@ -67,7 +72,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   wfsim list                       list available experiments
-  wfsim run <id>... | all          run experiments (fig1 fig7a fig7b fig8 fig9a fig9b fig10a fig10b fig11 fig12 table1)
+  wfsim run [-j N] <id>... | all   run experiments (fig1 fig7a fig7b fig8 fig9a fig9b fig10a fig10b fig11 fig12 table1)
+                                   -j sets trial parallelism (0 = all CPUs); Ctrl-C cancels
   wfsim dag <kmeans|matmul|fma>    emit a workload DAG as Graphviz DOT
   wfsim sweep                      block-size sweep, CPU vs GPU
   wfsim trace                      dump a Paraver-like trace of a K-means run
@@ -86,13 +92,32 @@ func cmdList() error {
 
 func cmdRun(args []string) error {
 	asJSON := false
+	workers := 0
 	var ids []string
-	for _, a := range args {
-		if a == "-json" || a == "--json" {
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-json" || a == "--json":
 			asJSON = true
-			continue
+		case a == "-j" || a == "--j":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("run: -j needs a worker count")
+			}
+			n, err := strconv.Atoi(args[i])
+			if err != nil {
+				return fmt.Errorf("run: -j %q: %w", args[i], err)
+			}
+			workers = n
+		case strings.HasPrefix(a, "-j="):
+			n, err := strconv.Atoi(strings.TrimPrefix(a, "-j="))
+			if err != nil {
+				return fmt.Errorf("run: %q: %w", a, err)
+			}
+			workers = n
+		default:
+			ids = append(ids, a)
 		}
-		ids = append(ids, a)
 	}
 	if len(ids) == 0 {
 		return fmt.Errorf("run: no experiment id (try `wfsim list`)")
@@ -103,6 +128,11 @@ func cmdRun(args []string) error {
 			ids = append(ids, e.ID)
 		}
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// One engine across all requested experiments: identical factor
+	// combinations appearing in several figures simulate once.
+	eng := runner.New(workers)
 	type jsonOut struct {
 		ID     string             `json:"id"`
 		Title  string             `json:"title"`
@@ -115,7 +145,7 @@ func cmdRun(args []string) error {
 			return err
 		}
 		start := time.Now()
-		res, err := e.Run()
+		res, err := e.Run(ctx, eng)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}

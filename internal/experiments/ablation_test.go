@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"wfsim/internal/apps/kmeans"
 	"wfsim/internal/apps/matmul"
 	"wfsim/internal/costmodel"
 	"wfsim/internal/dataset"
+	"wfsim/internal/runner"
 	"wfsim/internal/runtime"
 	"wfsim/internal/sched"
 	"wfsim/internal/storage"
@@ -59,32 +61,45 @@ func BenchmarkAblationOccupancy(b *testing.B) {
 	b.ReportMetric(withoutSat, "scaling-without-occupancy")
 }
 
+// ablationSchedulerPolicies is the policy set of the scheduler ablation,
+// in trial order.
+var ablationSchedulerPolicies = []sched.Policy{sched.FIFO, sched.Locality, sched.LIFO, sched.Random}
+
 // AblationScheduler compares all four policies on the locality-sensitive
 // configuration (K-means, local disks): locality and generation order
 // should be competitive; random placement must not beat the informed
-// policies by any margin that matters.
-func ablationScheduler(t testing.TB) map[sched.Policy]float64 {
+// policies by any margin that matters. The four policy runs execute as
+// one trial set on the engine.
+func ablationScheduler(t testing.TB, eng *runner.Engine) map[sched.Policy]float64 {
+	spans, err := runner.Map(context.Background(), eng, "ablation:sched",
+		ablationSchedulerPolicies, nil,
+		func(_ context.Context, pol sched.Policy) (float64, error) {
+			wf, err := kmeans.Build(kmeans.Config{
+				Dataset: dataset.KMeansSmall, Grid: 64, Clusters: 10,
+			})
+			if err != nil {
+				return 0, err
+			}
+			res, err := runtime.RunSim(wf, runtime.SimConfig{
+				Storage: storage.Local, Policy: pol, Device: costmodel.CPU, Seed: 7,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.Makespan, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := map[sched.Policy]float64{}
-	for _, pol := range []sched.Policy{sched.FIFO, sched.Locality, sched.LIFO, sched.Random} {
-		wf, err := kmeans.Build(kmeans.Config{
-			Dataset: dataset.KMeansSmall, Grid: 64, Clusters: 10,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		res, err := runtime.RunSim(wf, runtime.SimConfig{
-			Storage: storage.Local, Policy: pol, Device: costmodel.CPU, Seed: 7,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		out[pol] = res.Makespan
+	for i, pol := range ablationSchedulerPolicies {
+		out[pol] = spans[i]
 	}
 	return out
 }
 
 func TestAblationScheduler(t *testing.T) {
-	m := ablationScheduler(t)
+	m := ablationScheduler(t, runner.New(0))
 	for pol, makespan := range m {
 		if makespan <= 0 {
 			t.Fatalf("%v produced zero makespan", pol)
@@ -100,7 +115,7 @@ func TestAblationScheduler(t *testing.T) {
 func BenchmarkAblationScheduler(b *testing.B) {
 	var m map[sched.Policy]float64
 	for i := 0; i < b.N; i++ {
-		m = ablationScheduler(b)
+		m = ablationScheduler(b, runner.New(0))
 	}
 	b.ReportMetric(m[sched.FIFO], "fifo-makespan-s")
 	b.ReportMetric(m[sched.Locality], "locality-makespan-s")
@@ -115,29 +130,35 @@ func BenchmarkAblationScheduler(b *testing.B) {
 // therefore *deepens* the GPU loss — documenting the sensitivity of the
 // headline calibration and why the shared-disk bandwidth is the knob that
 // places the measured −1.4× near the paper's −1.2×.
-func ablationGPFS(t testing.TB, bandwidth float64) float64 {
+func ablationGPFS(t testing.TB, eng *runner.Engine, bandwidth float64) float64 {
 	params := costmodel.DefaultParams()
 	params.SharedBandwidth = bandwidth
-	span := func(dev costmodel.DeviceKind) float64 {
-		wf, err := kmeans.Build(kmeans.Config{
-			Dataset: dataset.KMeansSmall, Grid: 256, Clusters: 10,
+	spans, err := runner.Map(context.Background(), eng, "ablation:gpfs",
+		[]costmodel.DeviceKind{costmodel.CPU, costmodel.GPU}, nil,
+		func(_ context.Context, dev costmodel.DeviceKind) (float64, error) {
+			wf, err := kmeans.Build(kmeans.Config{
+				Dataset: dataset.KMeansSmall, Grid: 256, Clusters: 10,
+			})
+			if err != nil {
+				return 0, err
+			}
+			res, err := runtime.RunSim(wf, runtime.SimConfig{Device: dev, Params: &params})
+			if err != nil {
+				return 0, err
+			}
+			return res.Makespan, nil
 		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		res, err := runtime.RunSim(wf, runtime.SimConfig{Device: dev, Params: &params})
-		if err != nil {
-			t.Fatal(err)
-		}
-		return res.Makespan
+	if err != nil {
+		t.Fatal(err)
 	}
-	return span(costmodel.CPU) / span(costmodel.GPU) // parallel-task speedup
+	return spans[0] / spans[1] // parallel-task speedup, CPU over GPU
 }
 
 func TestAblationGPFS(t *testing.T) {
-	calibrated := ablationGPFS(t, costmodel.DefaultParams().SharedBandwidth)
-	fast := ablationGPFS(t, 4*costmodel.DefaultParams().SharedBandwidth)
-	slow := ablationGPFS(t, costmodel.DefaultParams().SharedBandwidth/4)
+	eng := runner.New(0)
+	calibrated := ablationGPFS(t, eng, costmodel.DefaultParams().SharedBandwidth)
+	fast := ablationGPFS(t, eng, 4*costmodel.DefaultParams().SharedBandwidth)
+	slow := ablationGPFS(t, eng, costmodel.DefaultParams().SharedBandwidth/4)
 	if calibrated >= 1 {
 		t.Errorf("calibrated GPFS: GPU should lose (speedup %.2f)", calibrated)
 	}
@@ -154,10 +175,11 @@ func TestAblationGPFS(t *testing.T) {
 func BenchmarkAblationGPFS(b *testing.B) {
 	var calibrated, fast, slow float64
 	base := costmodel.DefaultParams().SharedBandwidth
+	eng := runner.New(0)
 	for i := 0; i < b.N; i++ {
-		calibrated = ablationGPFS(b, base)
-		fast = ablationGPFS(b, 4*base)
-		slow = ablationGPFS(b, base/4)
+		calibrated = ablationGPFS(b, eng, base)
+		fast = ablationGPFS(b, eng, 4*base)
+		slow = ablationGPFS(b, eng, base/4)
 	}
 	b.ReportMetric(calibrated, "ptask-speedup-calibrated")
 	b.ReportMetric(fast, "ptask-speedup-4x-gpfs")

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"wfsim/internal/dataset"
+	"wfsim/internal/runner"
 )
 
 // These tests pin the reproduction targets from DESIGN.md §3: each asserts
@@ -20,7 +22,7 @@ func mustRun(t *testing.T, id string) Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run()
+	res, err := e.Run(context.Background(), runner.New(0))
 	if err != nil {
 		t.Fatal(err)
 	}

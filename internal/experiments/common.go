@@ -9,9 +9,16 @@
 // testbed; the reproduction target is the shape of each result (who wins,
 // by what factor, where the crossovers and OOMs fall). The calibration
 // tests in this package pin those shapes.
+//
+// Execution model: every experiment enumerates its parameter sweep as a
+// set of independent trials (one deterministic simulation each) and
+// executes it through the internal/runner engine, which parallelizes
+// across a bounded worker pool while preserving trial order — so rendered
+// output is byte-identical regardless of the `-j` level.
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"wfsim/internal/apps/kmeans"
@@ -20,6 +27,7 @@ import (
 	"wfsim/internal/costmodel"
 	"wfsim/internal/dataset"
 	"wfsim/internal/metrics"
+	"wfsim/internal/runner"
 	"wfsim/internal/runtime"
 	"wfsim/internal/sched"
 	"wfsim/internal/storage"
@@ -248,6 +256,24 @@ func headlineComplexity(cfg CellConfig, part dataset.Partition) float64 {
 	return mm.ParallelOps
 }
 
+// VirtualSeconds reports the cell's simulated time to the trial engine's
+// virtual-time accounting.
+func (c Cell) VirtualSeconds() float64 { return c.Makespan }
+
+// CellKey is the memoization key of a factor combination: two configs
+// with equal keys are guaranteed to simulate identically (the simulator
+// is deterministic and the config captures every input), so the trial
+// engine runs them once and shares the cell.
+func CellKey(cfg CellConfig) string {
+	params := ""
+	if cfg.Params != nil {
+		params = fmt.Sprintf("%+v", *cfg.Params)
+	}
+	flat := cfg
+	flat.Params = nil
+	return fmt.Sprintf("cell|%+v|%s", flat, params)
+}
+
 // RunPair runs the same configuration on CPU and GPU and returns both
 // cells — the head-to-head comparison every speedup chart needs.
 func RunPair(cfg CellConfig) (cpu, gpu Cell, err error) {
@@ -259,6 +285,42 @@ func RunPair(cfg CellConfig) (cpu, gpu Cell, err error) {
 	cfg.Device = costmodel.GPU
 	gpu, err = RunCell(cfg)
 	return
+}
+
+// RunCells executes one RunCell trial per configuration on the engine,
+// returning cells in configuration order. Identical configurations are
+// simulated once and shared (CellKey memoization).
+func RunCells(ctx context.Context, eng *runner.Engine, label string, cfgs []CellConfig) ([]Cell, error) {
+	return runner.Map(ctx, eng, label, cfgs, CellKey,
+		func(_ context.Context, cfg CellConfig) (Cell, error) { return RunCell(cfg) })
+}
+
+// Pair is a CPU/GPU cell pair for one factor combination.
+type Pair struct {
+	CPU, GPU Cell
+}
+
+// RunPairs expands each configuration into its CPU and GPU variants and
+// executes all resulting cells as one trial set, returning pairs in
+// configuration order. This is the parallel, batched form of RunPair.
+func RunPairs(ctx context.Context, eng *runner.Engine, label string, cfgs []CellConfig) ([]Pair, error) {
+	expanded := make([]CellConfig, 0, 2*len(cfgs))
+	for _, cfg := range cfgs {
+		cpu := cfg
+		cpu.Device = costmodel.CPU
+		gpu := cfg
+		gpu.Device = costmodel.GPU
+		expanded = append(expanded, cpu, gpu)
+	}
+	cells, err := RunCells(ctx, eng, label, expanded)
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([]Pair, len(cfgs))
+	for i := range pairs {
+		pairs[i] = Pair{CPU: cells[2*i], GPU: cells[2*i+1]}
+	}
+	return pairs, nil
 }
 
 // Speedup returns tCPU/tGPU guarding zeros.

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"wfsim/internal/runner"
+	"wfsim/internal/sched"
+)
+
+// The engine must be a pure execution detail: rendered output at any
+// parallelism level is byte-identical to the serial run. These tests pin
+// that contract on the widest sweep (fig11) and on an ablation helper.
+
+func renderWith(t *testing.T, id string, workers int) string {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(context.Background(), runner.New(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Render()
+}
+
+func TestFig11DeterministicAcrossParallelism(t *testing.T) {
+	serial := renderWith(t, "fig11", 1)
+	parallel := renderWith(t, "fig11", 8)
+	if serial != parallel {
+		t.Errorf("fig11 render differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s",
+			serial, parallel)
+	}
+}
+
+func TestAblationDeterministicAcrossParallelism(t *testing.T) {
+	serial := ablationScheduler(t, runner.New(1))
+	parallel := ablationScheduler(t, runner.New(8))
+	for _, pol := range []sched.Policy{sched.FIFO, sched.Locality, sched.LIFO, sched.Random} {
+		if serial[pol] != parallel[pol] {
+			t.Errorf("%v makespan differs between -j 1 and -j 8: %v vs %v",
+				pol, serial[pol], parallel[pol])
+		}
+	}
+}

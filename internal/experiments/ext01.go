@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -11,6 +12,7 @@ import (
 	"wfsim/internal/dataset"
 	"wfsim/internal/metrics"
 	"wfsim/internal/model"
+	"wfsim/internal/runner"
 	"wfsim/internal/runtime"
 	"wfsim/internal/tables"
 )
@@ -42,7 +44,7 @@ type Ext1Result struct {
 	Points []Ext1Point
 }
 
-func runExt1() (Result, error) {
+func runExt1(ctx context.Context, eng *runner.Engine) (Result, error) {
 	params := costmodel.DefaultParams()
 	part, err := dataset.ByGrid(dataset.KMeansSmall, 256, 1)
 	if err != nil {
@@ -74,31 +76,51 @@ func runExt1() (Result, error) {
 			cell: CellConfig{Algorithm: Matmul, Dataset: dataset.MatmulSmall, Grid: 2},
 		},
 	}
+	// Each spectrum point's simulated speedup is one self-contained
+	// trial closure; the analytic breakdown is computed inline (cheap).
+	trials := make([]runner.Trial, len(specs))
+	for i, s := range specs {
+		cell := s.cell
+		if cell.Dataset.Rows > 0 {
+			trials[i] = runner.Trial{
+				ID:  "ext1:" + s.name,
+				Key: "ext1pair|" + CellKey(cell),
+				Run: func(context.Context) (any, error) {
+					cpu, gpu, err := RunPair(cell)
+					if err != nil {
+						return nil, err
+					}
+					if cpu.OOM || gpu.OOM {
+						return 0.0, nil
+					}
+					return Speedup(cpu.UserMean, gpu.UserMean), nil
+				},
+			}
+		} else {
+			// linreg: simulate directly (not a Cell algorithm).
+			trials[i] = runner.Trial{
+				ID: "ext1:" + s.name,
+				Run: func(context.Context) (any, error) {
+					return linregSimSpeedup()
+				},
+			}
+		}
+	}
+	rep, err := eng.Run(ctx, trials)
+	if err != nil {
+		return nil, err
+	}
+
 	r := &Ext1Result{}
-	for _, s := range specs {
+	for i, s := range specs {
 		b := model.Breakdown(params, s.prof)
-		pt := Ext1Point{
+		r.Points = append(r.Points, Ext1Point{
 			Name:             s.name,
 			ParallelFraction: b.ParallelFraction,
 			UserSpeedup:      b.UserCodeSpeedup,
 			AmdahlLimit:      b.AmdahlLimit,
-		}
-		if s.cell.Dataset.Rows > 0 {
-			cpu, gpu, err := RunPair(s.cell)
-			if err != nil {
-				return nil, err
-			}
-			if !cpu.OOM && !gpu.OOM {
-				pt.SimSpeedup = Speedup(cpu.UserMean, gpu.UserMean)
-			}
-		} else {
-			// linreg: simulate directly (not a Cell algorithm).
-			pt.SimSpeedup, err = linregSimSpeedup()
-			if err != nil {
-				return nil, err
-			}
-		}
-		r.Points = append(r.Points, pt)
+			SimSpeedup:       rep.Outcomes[i].Value.(float64),
+		})
 	}
 	return r, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"wfsim/internal/cluster"
 	"wfsim/internal/costmodel"
 	"wfsim/internal/dataset"
+	"wfsim/internal/runner"
 	"wfsim/internal/tables"
 )
 
@@ -40,7 +42,7 @@ type Ext2Result struct {
 	Eras []Ext2Era
 }
 
-func runExt2() (Result, error) {
+func runExt2(ctx context.Context, eng *runner.Engine) (Result, error) {
 	paramSets := []struct {
 		name   string
 		params costmodel.Params
@@ -53,62 +55,66 @@ func runExt2() (Result, error) {
 		era := Ext2Era{Name: ps.name}
 		params := ps.params
 
-		// Figure 1 trio: single-task user-code metrics + parallel tasks.
+		// Every measurement of an era is a CPU/GPU pair, so the whole
+		// era — the Figure 1 trio, the Matmul sweep, and the K-means
+		// crossover scan — flattens into one trial set. The grid-256
+		// crossover sample duplicates the trio's parallel-tasks config;
+		// memoization simulates it once.
 		single := CellConfig{
 			Algorithm: KMeans, Dataset: dataset.KMeansSmall, Grid: 256, Clusters: 10,
 			Iterations: 1, Params: &params,
 			Cluster: cluster.Spec{Name: "single", Nodes: 1, CoresPerNode: 1, GPUsPerNode: 1},
 		}
-		sCPU, sGPU, err := RunPair(single)
-		if err != nil {
-			return nil, err
-		}
-		era.PFracSpeedup = Speedup(sCPU.PFracMean, sGPU.PFracMean)
-		era.UserSpeedup = Speedup(sCPU.UserMean, sGPU.UserMean)
-
 		full := CellConfig{
 			Algorithm: KMeans, Dataset: dataset.KMeansSmall, Grid: 256, Clusters: 10,
 			Params: &params,
 		}
-		pCPU, pGPU, err := RunPair(full)
+		cfgs := []CellConfig{single, full}
+		mmStart := len(cfgs)
+		for i := len(dataset.MatmulGrids) - 1; i >= 0; i-- {
+			cfgs = append(cfgs, CellConfig{
+				Algorithm: Matmul, Dataset: dataset.MatmulSmall,
+				Grid: dataset.MatmulGrids[i], Params: &params,
+			})
+		}
+		kmStart := len(cfgs)
+		for _, g := range dataset.KMeansGrids {
+			cfgs = append(cfgs, CellConfig{
+				Algorithm: KMeans, Dataset: dataset.KMeansSmall, Grid: g, Clusters: 10,
+				Params: &params,
+			})
+		}
+		pairs, err := RunPairs(ctx, eng, "ext2:"+ps.name, cfgs)
 		if err != nil {
 			return nil, err
 		}
-		era.PTaskSpeedup = Speedup(pCPU.PTaskMean, pGPU.PTaskMean)
+
+		// Figure 1 trio: single-task user-code metrics + parallel tasks.
+		sCPU, sGPU := pairs[0].CPU, pairs[0].GPU
+		era.PFracSpeedup = Speedup(sCPU.PFracMean, sGPU.PFracMean)
+		era.UserSpeedup = Speedup(sCPU.UserMean, sGPU.UserMean)
+		era.PTaskSpeedup = Speedup(pairs[1].CPU.PTaskMean, pairs[1].GPU.PTaskMean)
 
 		// Matmul sweep: max speedup + first OOM block.
-		for i := len(dataset.MatmulGrids) - 1; i >= 0; i-- {
-			g := dataset.MatmulGrids[i]
-			cpu, gpu, err := RunPair(CellConfig{
-				Algorithm: Matmul, Dataset: dataset.MatmulSmall, Grid: g, Params: &params,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if gpu.OOM {
-				if era.MatmulOOMBlock == 0 || cpu.BlockBytes < era.MatmulOOMBlock {
-					era.MatmulOOMBlock = cpu.BlockBytes
+		for _, p := range pairs[mmStart:kmStart] {
+			if p.GPU.OOM {
+				if era.MatmulOOMBlock == 0 || p.CPU.BlockBytes < era.MatmulOOMBlock {
+					era.MatmulOOMBlock = p.CPU.BlockBytes
 				}
 				continue
 			}
-			if s := Speedup(cpu.UserMean, gpu.UserMean); s > era.MatmulMaxSpeedup {
+			if s := Speedup(p.CPU.UserMean, p.GPU.UserMean); s > era.MatmulMaxSpeedup {
 				era.MatmulMaxSpeedup = s
 			}
 		}
 
 		// K-means crossover: largest task count where the GPU wins.
-		for _, g := range dataset.KMeansGrids {
-			cpu, gpu, err := RunPair(CellConfig{
-				Algorithm: KMeans, Dataset: dataset.KMeansSmall, Grid: g, Clusters: 10,
-				Params: &params,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if cpu.OOM || gpu.OOM {
+		for i, p := range pairs[kmStart:] {
+			if p.CPU.OOM || p.GPU.OOM {
 				continue
 			}
-			if Speedup(cpu.PTaskMean, gpu.PTaskMean) > 1 && g > era.KMeansCrossoverTasks {
+			g := dataset.KMeansGrids[i]
+			if Speedup(p.CPU.PTaskMean, p.GPU.PTaskMean) > 1 && g > era.KMeansCrossoverTasks {
 				era.KMeansCrossoverTasks = g
 			}
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"wfsim/internal/cluster"
 	"wfsim/internal/costmodel"
 	"wfsim/internal/dataset"
+	"wfsim/internal/runner"
 	"wfsim/internal/runtime"
 	"wfsim/internal/sched"
 	"wfsim/internal/tables"
@@ -32,37 +34,51 @@ type Ext3Result struct {
 	Rows []Ext3Row
 }
 
-func runExt3() (Result, error) {
-	r := &Ext3Result{}
+// ext3Spec is one (straggler severity × policy) trial configuration.
+type ext3Spec struct {
+	slow float64
+	pol  sched.Policy
+}
+
+func runExt3(ctx context.Context, eng *runner.Engine) (Result, error) {
 	spec := cluster.Minotauro()
+	var specs []ext3Spec
 	for _, slow := range []float64{1.0, 0.5, 0.25} {
-		speeds := make([]float64, spec.Nodes)
-		for i := range speeds {
-			speeds[i] = 1
-		}
-		speeds[0] = slow
 		for _, pol := range []sched.Policy{sched.FIFO, sched.Locality} {
+			specs = append(specs, ext3Spec{slow: slow, pol: pol})
+		}
+	}
+	rows, err := runner.Map(ctx, eng, "ext3", specs,
+		func(s ext3Spec) string { return fmt.Sprintf("ext3|%v|%v", s.slow, s.pol) },
+		func(_ context.Context, s ext3Spec) (Ext3Row, error) {
+			speeds := make([]float64, spec.Nodes)
+			for i := range speeds {
+				speeds[i] = 1
+			}
+			speeds[0] = s.slow
 			wf, err := kmeans.Build(kmeans.Config{
 				Dataset: dataset.KMeansSmall, Grid: 128, Clusters: 10,
 			})
 			if err != nil {
-				return nil, err
+				return Ext3Row{}, err
 			}
 			res, err := runtime.RunSim(wf, runtime.SimConfig{
 				Device:    costmodel.CPU,
-				Policy:    pol,
+				Policy:    s.pol,
 				NodeSpeed: speeds,
 			})
 			if err != nil {
-				return nil, err
+				return Ext3Row{}, err
 			}
-			r.Rows = append(r.Rows, Ext3Row{
-				Policy: pol, SlowFactor: slow,
+			return Ext3Row{
+				Policy: s.pol, SlowFactor: s.slow,
 				MakespanCPU: res.Makespan, CoreUtil: res.CoreUtilization,
-			})
-		}
+			}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return r, nil
+	return &Ext3Result{Rows: rows}, nil
 }
 
 // Render implements Result.

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"wfsim/internal/cluster"
 	"wfsim/internal/dataset"
+	"wfsim/internal/runner"
 	"wfsim/internal/tables"
 )
 
@@ -27,7 +29,7 @@ type Fig1Result struct {
 	PTaskSpeedup    float64
 }
 
-func runFig1() (Result, error) {
+func runFig1(ctx context.Context, eng *runner.Engine) (Result, error) {
 	base := CellConfig{
 		Algorithm: KMeans,
 		Dataset:   dataset.KMeansSmall, // 10 GB
@@ -40,16 +42,20 @@ func runFig1() (Result, error) {
 	single := base
 	single.Cluster = cluster.Spec{Name: "single", Nodes: 1, CoresPerNode: 1, GPUsPerNode: 1}
 	single.Iterations = 1
-	sCPU, sGPU, err := runPairCells(single)
-	if err != nil {
-		return nil, err
-	}
 
-	// Parallel tasks: all 128 cores and 32 GPU devices.
-	pCPU, pGPU, err := runPairCells(base)
+	// Trial set: {single, parallel} × {CPU, GPU}. The parallel
+	// configuration uses all 128 cores and 32 GPU devices.
+	pairs, err := RunPairs(ctx, eng, "fig1", []CellConfig{single, base})
 	if err != nil {
 		return nil, err
 	}
+	for _, p := range pairs {
+		if p.CPU.OOM || p.GPU.OOM {
+			return nil, fmt.Errorf("fig1: unexpected OOM (cpu=%v gpu=%v)", p.CPU.OOM, p.GPU.OOM)
+		}
+	}
+	sCPU, sGPU := pairs[0].CPU, pairs[0].GPU
+	pCPU, pGPU := pairs[1].CPU, pairs[1].GPU
 
 	return &Fig1Result{
 		SingleCPU: sCPU, SingleGPU: sGPU,
@@ -58,17 +64,6 @@ func runFig1() (Result, error) {
 		UserCodeSpeedup: Speedup(sCPU.UserMean, sGPU.UserMean),
 		PTaskSpeedup:    Speedup(pCPU.PTaskMean, pGPU.PTaskMean),
 	}, nil
-}
-
-func runPairCells(cfg CellConfig) (cpu, gpu Cell, err error) {
-	cpu, gpu, err = RunPair(cfg)
-	if err != nil {
-		return
-	}
-	if cpu.OOM || gpu.OOM {
-		err = fmt.Errorf("fig1: unexpected OOM (cpu=%v gpu=%v)", cpu.OOM, gpu.OOM)
-	}
-	return
 }
 
 // Render implements Result.

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"wfsim/internal/dataset"
+	"wfsim/internal/runner"
 	"wfsim/internal/tables"
 )
 
@@ -50,33 +52,48 @@ type Fig7Result struct {
 	Sweeps    []DatasetSweep
 }
 
-// runSweep executes RunPair across the algorithm's grid dimensions,
-// visiting the largest grid first so points come out in ascending block
-// size — the X-axis order of the paper's charts.
-func runSweep(alg Algorithm, ds dataset.Dataset, grids []int64, clusters int64) (DatasetSweep, error) {
-	sw := DatasetSweep{Dataset: ds}
+// sweepConfigs enumerates a grid sweep's factor combinations, visiting
+// the largest grid first so points come out in ascending block size —
+// the X-axis order of the paper's charts.
+func sweepConfigs(alg Algorithm, ds dataset.Dataset, grids []int64, clusters int64) []CellConfig {
+	cfgs := make([]CellConfig, 0, len(grids))
 	for i := len(grids) - 1; i >= 0; i-- {
-		g := grids[i]
-		cpu, gpu, err := RunPair(CellConfig{
-			Algorithm: alg, Dataset: ds, Grid: g, Clusters: clusters,
+		cfgs = append(cfgs, CellConfig{
+			Algorithm: alg, Dataset: ds, Grid: grids[i], Clusters: clusters,
 		})
-		if err != nil {
-			return sw, fmt.Errorf("%s %s grid %d: %w", alg, ds.Name, g, err)
-		}
-		pt := SweepPoint{CPU: cpu, GPU: gpu}
-		if !cpu.OOM && !gpu.OOM {
-			pt.PFracSpd = Speedup(cpu.PFracMean, gpu.PFracMean)
-			pt.UserSpd = Speedup(cpu.UserMean, gpu.UserMean)
-			pt.PTaskSpd = Speedup(cpu.PTaskMean, gpu.PTaskMean)
-		} else {
-			pt.PFracSpd, pt.UserSpd, pt.PTaskSpd = math.NaN(), math.NaN(), math.NaN()
-		}
-		sw.Points = append(sw.Points, pt)
+	}
+	return cfgs
+}
+
+// sweepPoint derives the Figure 7 stage speedups from a measured pair.
+func sweepPoint(p Pair) SweepPoint {
+	pt := SweepPoint{CPU: p.CPU, GPU: p.GPU}
+	if !p.CPU.OOM && !p.GPU.OOM {
+		pt.PFracSpd = Speedup(p.CPU.PFracMean, p.GPU.PFracMean)
+		pt.UserSpd = Speedup(p.CPU.UserMean, p.GPU.UserMean)
+		pt.PTaskSpd = Speedup(p.CPU.PTaskMean, p.GPU.PTaskMean)
+	} else {
+		pt.PFracSpd, pt.UserSpd, pt.PTaskSpd = math.NaN(), math.NaN(), math.NaN()
+	}
+	return pt
+}
+
+// runSweep executes one dataset's grid sweep as a trial set on the
+// engine: every (grid, device) combination is an independent simulation.
+func runSweep(ctx context.Context, eng *runner.Engine, alg Algorithm, ds dataset.Dataset, grids []int64, clusters int64) (DatasetSweep, error) {
+	sw := DatasetSweep{Dataset: ds}
+	pairs, err := RunPairs(ctx, eng, fmt.Sprintf("sweep:%s:%s", alg, ds.Name),
+		sweepConfigs(alg, ds, grids, clusters))
+	if err != nil {
+		return sw, fmt.Errorf("%s %s: %w", alg, ds.Name, err)
+	}
+	for _, p := range pairs {
+		sw.Points = append(sw.Points, sweepPoint(p))
 	}
 	return sw, nil
 }
 
-func runFig7(alg Algorithm) (Result, error) {
+func runFig7(ctx context.Context, eng *runner.Engine, alg Algorithm) (Result, error) {
 	r := &Fig7Result{Algorithm: alg, Clusters: 10}
 	var cfgs []struct {
 		ds    dataset.Dataset
@@ -100,7 +117,7 @@ func runFig7(alg Algorithm) (Result, error) {
 		}
 	}
 	for _, c := range cfgs {
-		sw, err := runSweep(alg, c.ds, c.grids, r.Clusters)
+		sw, err := runSweep(ctx, eng, alg, c.ds, c.grids, r.Clusters)
 		if err != nil {
 			return nil, err
 		}
@@ -161,11 +178,15 @@ func init() {
 	register(Experiment{
 		ID:    "fig7a",
 		Title: "Figure 7a: end-to-end performance analysis, Matmul (8 GB and 32 GB)",
-		Run:   func() (Result, error) { return runFig7(Matmul) },
+		Run: func(ctx context.Context, eng *runner.Engine) (Result, error) {
+			return runFig7(ctx, eng, Matmul)
+		},
 	})
 	register(Experiment{
 		ID:    "fig7b",
 		Title: "Figure 7b: end-to-end performance analysis, K-means (10 GB and 100 GB)",
-		Run:   func() (Result, error) { return runFig7(KMeans) },
+		Run: func(ctx context.Context, eng *runner.Engine) (Result, error) {
+			return runFig7(ctx, eng, KMeans)
+		},
 	})
 }

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"wfsim/internal/dataset"
+	"wfsim/internal/runner"
 	"wfsim/internal/tables"
 )
 
@@ -22,10 +24,10 @@ type Fig8Result struct {
 	Sweeps  []DatasetSweep
 }
 
-func runFig8(alg Algorithm) (Result, error) {
+func runFig8(ctx context.Context, eng *runner.Engine, alg Algorithm) (Result, error) {
 	r := &Fig8Result{Variant: alg}
 	for _, ds := range []dataset.Dataset{dataset.MatmulSmall, dataset.MatmulLarge} {
-		sw, err := runSweep(alg, ds, dataset.MatmulGrids, 0)
+		sw, err := runSweep(ctx, eng, alg, ds, dataset.MatmulGrids, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -101,11 +103,15 @@ func init() {
 	register(Experiment{
 		ID:    "fig8",
 		Title: "Figure 8: task computational complexity in Matmul (matmul_func vs add_func)",
-		Run:   func() (Result, error) { return runFig8(Matmul) },
+		Run: func(ctx context.Context, eng *runner.Engine) (Result, error) {
+			return runFig8(ctx, eng, Matmul)
+		},
 	})
 	register(Experiment{
 		ID:    "fig12",
 		Title: "Figure 12: analysis of task user code in Matmul FMA",
-		Run:   func() (Result, error) { return runFig8(MatmulFMA) },
+		Run: func(ctx context.Context, eng *runner.Engine) (Result, error) {
+			return runFig8(ctx, eng, MatmulFMA)
+		},
 	})
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"wfsim/internal/apps/kmeans"
 	"wfsim/internal/apps/matmul"
 	"wfsim/internal/dataset"
+	"wfsim/internal/runner"
 	"wfsim/internal/runtime"
 	"wfsim/internal/tables"
 )
@@ -24,12 +26,23 @@ type Fig9aResult struct {
 	Sweeps   []DatasetSweep
 }
 
-func runFig9a() (Result, error) {
+func runFig9a(ctx context.Context, eng *runner.Engine) (Result, error) {
 	r := &Fig9aResult{Clusters: []int64{10, 100, 1000}}
+	// All three cluster counts form one flat trial set, so the full
+	// 3 × |grids| × {CPU, GPU} sweep parallelizes as a unit.
+	var cfgs []CellConfig
 	for _, k := range r.Clusters {
-		sw, err := runSweep(KMeans, dataset.KMeansSmall, dataset.KMeansGrids, k)
-		if err != nil {
-			return nil, err
+		cfgs = append(cfgs, sweepConfigs(KMeans, dataset.KMeansSmall, dataset.KMeansGrids, k)...)
+	}
+	pairs, err := RunPairs(ctx, eng, "fig9a", cfgs)
+	if err != nil {
+		return nil, err
+	}
+	perSweep := len(dataset.KMeansGrids)
+	for s := range r.Clusters {
+		sw := DatasetSweep{Dataset: dataset.KMeansSmall}
+		for _, p := range pairs[s*perSweep : (s+1)*perSweep] {
+			sw.Points = append(sw.Points, sweepPoint(p))
 		}
 		r.Sweeps = append(r.Sweeps, sw)
 	}
@@ -121,23 +134,31 @@ type Fig9bResult struct {
 var fig9bMatmulDS = dataset.Dataset{Name: "matmul-skew-real", Rows: 1024, Cols: 1024}
 var fig9bKMeansDS = dataset.Dataset{Name: "kmeans-skew-real", Rows: 300_000, Cols: 40}
 
-func runFig9b() (Result, error) {
-	r := &Fig9bResult{}
-	for _, grid := range []int64{2, 4} {
-		pt, err := skewPointMatmul(grid)
-		if err != nil {
-			return nil, err
-		}
-		r.Points = append(r.Points, pt)
+// fig9bSpec names one skew-comparison trial.
+type fig9bSpec struct {
+	alg  Algorithm
+	grid int64
+}
+
+func runFig9b(ctx context.Context, eng *runner.Engine) (Result, error) {
+	specs := []fig9bSpec{
+		{Matmul, 2}, {Matmul, 4},
+		{KMeans, 4}, {KMeans, 8},
 	}
-	for _, grid := range []int64{4, 8} {
-		pt, err := skewPointKMeans(grid)
-		if err != nil {
-			return nil, err
-		}
-		r.Points = append(r.Points, pt)
+	// Each spec is one trial (a full interleaved uniform-vs-skew
+	// comparison of real kernel runs). Never memoized: these measure
+	// wall-clock, not the deterministic simulator.
+	points, err := runner.Map(ctx, eng, "fig9b", specs, nil,
+		func(_ context.Context, s fig9bSpec) (Fig9bPoint, error) {
+			if s.alg == Matmul {
+				return skewPointMatmul(s.grid)
+			}
+			return skewPointKMeans(s.grid)
+		})
+	if err != nil {
+		return nil, err
 	}
-	return r, nil
+	return &Fig9bResult{Points: points}, nil
 }
 
 // measureOnce runs the workflow's real kernels once and returns the mean

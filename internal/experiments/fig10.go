@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"wfsim/internal/dataset"
+	"wfsim/internal/runner"
 	"wfsim/internal/sched"
 	"wfsim/internal/storage"
 	"wfsim/internal/tables"
@@ -49,24 +51,33 @@ type Fig10Result struct {
 	Points [][]Fig10Point
 }
 
-func runFig10(alg Algorithm) (Result, error) {
+func runFig10(ctx context.Context, eng *runner.Engine, alg Algorithm) (Result, error) {
 	r := &Fig10Result{Algorithm: alg}
 	if alg == Matmul {
 		r.Dataset, r.Grids = dataset.MatmulSmall, dataset.MatmulGrids
 	} else {
 		r.Dataset, r.Grids = dataset.KMeansSmall, dataset.KMeansGrids
 	}
+	// One flat trial set covers all four panels: |combos| × |grids| ×
+	// {CPU, GPU} independent simulations.
+	var cfgs []CellConfig
 	for _, combo := range Fig10Combos {
-		var row []Fig10Point
 		for _, g := range r.Grids {
-			cpu, gpu, err := RunPair(CellConfig{
+			cfgs = append(cfgs, CellConfig{
 				Algorithm: alg, Dataset: r.Dataset, Grid: g, Clusters: 10,
 				Storage: combo.Storage, Policy: combo.Policy,
 			})
-			if err != nil {
-				return nil, fmt.Errorf("fig10 %s grid %d: %w", combo, g, err)
-			}
-			row = append(row, Fig10Point{Combo: combo, CPU: cpu, GPU: gpu})
+		}
+	}
+	pairs, err := RunPairs(ctx, eng, fmt.Sprintf("fig10:%s", alg), cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig10 %s: %w", alg, err)
+	}
+	for ci, combo := range Fig10Combos {
+		row := make([]Fig10Point, len(r.Grids))
+		for gi := range r.Grids {
+			p := pairs[ci*len(r.Grids)+gi]
+			row[gi] = Fig10Point{Combo: combo, CPU: p.CPU, GPU: p.GPU}
 		}
 		r.Points = append(r.Points, row)
 	}
@@ -107,11 +118,15 @@ func init() {
 	register(Experiment{
 		ID:    "fig10a",
 		Title: "Figure 10a: storage × scheduler effects on Matmul (8 GB)",
-		Run:   func() (Result, error) { return runFig10(Matmul) },
+		Run: func(ctx context.Context, eng *runner.Engine) (Result, error) {
+			return runFig10(ctx, eng, Matmul)
+		},
 	})
 	register(Experiment{
 		ID:    "fig10b",
 		Title: "Figure 10b: storage × scheduler effects on K-means (10 GB)",
-		Run:   func() (Result, error) { return runFig10(KMeans) },
+		Run: func(ctx context.Context, eng *runner.Engine) (Result, error) {
+			return runFig10(ctx, eng, KMeans)
+		},
 	})
 }

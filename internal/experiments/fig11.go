@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"wfsim/internal/costmodel"
 	"wfsim/internal/dataset"
+	"wfsim/internal/runner"
 	"wfsim/internal/sched"
 	"wfsim/internal/stats"
 	"wfsim/internal/storage"
@@ -91,8 +93,8 @@ func fig11Samples() []CellConfig {
 	return out
 }
 
-func runFig11() (Result, error) {
-	cells, skipped, err := CollectFig11Cells()
+func runFig11(ctx context.Context, eng *runner.Engine) (Result, error) {
+	cells, skipped, err := CollectFig11Cells(ctx, eng)
 	if err != nil {
 		return nil, err
 	}
@@ -103,16 +105,18 @@ func runFig11() (Result, error) {
 	return &Fig11Result{Samples: len(cells), Skipped: skipped, Matrix: m}, nil
 }
 
-// CollectFig11Cells runs the sweep, dropping OOM combinations (they have
-// no execution time).
-func CollectFig11Cells() ([]Cell, int, error) {
+// CollectFig11Cells executes the 192-sample sweep as one trial set on
+// the engine, then drops OOM combinations (they have no execution time).
+// The correlation matrix is order-sensitive only through the sample
+// order, which the engine preserves.
+func CollectFig11Cells(ctx context.Context, eng *runner.Engine) ([]Cell, int, error) {
+	all, err := RunCells(ctx, eng, "fig11", fig11Samples())
+	if err != nil {
+		return nil, 0, fmt.Errorf("fig11: %w", err)
+	}
 	var cells []Cell
 	skipped := 0
-	for _, cfg := range fig11Samples() {
-		cell, err := RunCell(cfg)
-		if err != nil {
-			return nil, 0, fmt.Errorf("fig11 %s %s grid %d: %w", cfg.Algorithm, cfg.Dataset.Name, cfg.Grid, err)
-		}
+	for _, cell := range all {
 		if cell.OOM {
 			skipped++
 			continue

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"wfsim/internal/dataset"
+	"wfsim/internal/runner"
 )
 
 // These tests verify the paper's explicit observations O1-O6 (§5) plus the
@@ -14,7 +16,7 @@ import (
 // parallel gains are diminished by serial processing and CPU-GPU
 // communication costs (K-means).
 func TestObservationO1(t *testing.T) {
-	sw, err := runSweep(KMeans, dataset.KMeansSmall, dataset.KMeansGrids, 10)
+	sw, err := runSweep(context.Background(), runner.New(0), KMeans, dataset.KMeansSmall, dataset.KMeansGrids, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +38,7 @@ func TestObservationO1(t *testing.T) {
 // parallelized across cores: the per-core movement overhead is minimized
 // near #tasks == #cores.
 func TestObservationO2(t *testing.T) {
-	sw, err := runSweep(KMeans, dataset.KMeansSmall, dataset.KMeansGrids, 10)
+	sw, err := runSweep(context.Background(), runner.New(0), KMeans, dataset.KMeansSmall, dataset.KMeansGrids, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +68,7 @@ func TestObservationO2(t *testing.T) {
 // O3: in tasks with low computational complexity (add_func), increasing
 // task granularity does not increase GPU speedups significantly.
 func TestObservationO3(t *testing.T) {
-	sw, err := runSweep(Matmul, dataset.MatmulSmall, dataset.MatmulGrids, 0)
+	sw, err := runSweep(context.Background(), runner.New(0), Matmul, dataset.MatmulSmall, dataset.MatmulGrids, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +121,7 @@ func TestObservationO4(t *testing.T) {
 // O5: on local disks, scheduling-policy variations barely change CPU/GPU
 // execution times.
 func TestObservationO5(t *testing.T) {
-	r, err := runFig10(KMeans)
+	r, err := runFig10(context.Background(), runner.New(0), KMeans)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,11 +145,11 @@ func TestObservationO5(t *testing.T) {
 // for low-complexity tasks — K-means shows a larger policy effect than
 // Matmul on shared storage.
 func TestObservationO6(t *testing.T) {
-	km, err := runFig10(KMeans)
+	km, err := runFig10(context.Background(), runner.New(0), KMeans)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mm, err := runFig10(Matmul)
+	mm, err := runFig10(context.Background(), runner.New(0), Matmul)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +176,7 @@ func TestObservationO6(t *testing.T) {
 
 // TestCorrelationFindings pins the §5.4 trends on the Figure 11 matrix.
 func TestCorrelationFindings(t *testing.T) {
-	cells, _, err := CollectFig11Cells()
+	cells, _, err := CollectFig11Cells(context.Background(), runner.New(0))
 	if err != nil {
 		t.Fatal(err)
 	}

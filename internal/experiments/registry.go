@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
+
+	"wfsim/internal/runner"
 )
 
 // Result is a rendered experiment outcome.
@@ -17,8 +20,11 @@ type Experiment struct {
 	ID string
 	// Title is the paper artifact's caption-level description.
 	Title string
-	// Run executes the experiment at paper scale.
-	Run func() (Result, error)
+	// Run executes the experiment at paper scale. The experiment builds
+	// its parameter sweep as a trial set and executes it through eng;
+	// ctx aborts the sweep between trials. Results are deterministic and
+	// independent of the engine's parallelism.
+	Run func(ctx context.Context, eng *runner.Engine) (Result, error)
 }
 
 var registry = map[string]Experiment{}

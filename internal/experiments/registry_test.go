@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterDuplicateIDPanics(t *testing.T) {
+	defer delete(registry, "test-dup")
+	register(Experiment{ID: "test-dup"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a duplicate ID did not panic")
+		}
+	}()
+	register(Experiment{ID: "test-dup"})
+}
+
+func TestByIDUnknown(t *testing.T) {
+	_, err := ByID("nope")
+	if err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if !strings.Contains(err.Error(), `unknown experiment "nope"`) {
+		t.Errorf("error should name the bad id: %v", err)
+	}
+}
+
+// TestAllCoversDesignDoc pins the registry to the experiment inventory in
+// DESIGN.md §3: every paper artifact plus the three extensions, no
+// strays, sorted by ID.
+func TestAllCoversDesignDoc(t *testing.T) {
+	want := []string{
+		"ext1", "ext2", "ext3",
+		"fig1", "fig10a", "fig10b", "fig11", "fig12",
+		"fig7a", "fig7b", "fig8", "fig9a", "fig9b",
+		"table1",
+	}
+	all := All()
+	var got []string
+	for _, e := range all {
+		got = append(got, e.ID)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("All() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("All()[%d] = %q, want %q (full: %v)", i, got[i], want[i], got)
+		}
+	}
+	for _, e := range all {
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%s: incomplete registration (title %q, run nil=%v)", e.ID, e.Title, e.Run == nil)
+		}
+	}
+}

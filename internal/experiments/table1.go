@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 
+	"wfsim/internal/runner"
 	"wfsim/internal/tables"
 )
 
@@ -84,6 +86,8 @@ func init() {
 	register(Experiment{
 		ID:    "table1",
 		Title: "Table 1: factors and parameters affecting task-based workflow performance",
-		Run:   func() (Result, error) { return Table1Result{}, nil },
+		Run: func(context.Context, *runner.Engine) (Result, error) {
+			return Table1Result{}, nil
+		},
 	})
 }

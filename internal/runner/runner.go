@@ -1,0 +1,287 @@
+// Package runner is the trial-execution engine behind every experiment:
+// it takes an enumerable set of independent trials — each a self-contained
+// closure with a stable ID — and executes them on a bounded goroutine
+// worker pool with context cancellation, deterministic first-error
+// propagation, optional memoization of repeated trials, and per-trial
+// wall-clock/virtual-time accounting.
+//
+// The engine separates experiment *specification* (the trial set, built
+// serially and deterministically) from *execution* (the pool), so a
+// 192-sample sweep saturates the machine while its rendered output stays
+// byte-identical to a serial run: results are returned in submission
+// order, never completion order, and every trial is an independent
+// deterministic simulation.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Trial is one independent unit of work: typically a single simulated
+// workflow execution for one factor combination.
+type Trial struct {
+	// ID is a stable identifier used for ordering, accounting, and error
+	// messages. IDs should be unique within a trial set.
+	ID string
+	// Key optionally enables memoization: trials with the same non-empty
+	// Key are executed once per engine lifetime and share the result
+	// (including an error, if the first execution failed). Memoized
+	// results must be treated as immutable by all sharers. An empty Key
+	// disables memoization for the trial.
+	Key string
+	// Run executes the trial. The context is cancelled when a sibling
+	// trial fails or the caller aborts; long-running trials may honor it,
+	// short deterministic simulations can ignore it (the engine stops
+	// launching new trials either way).
+	Run func(ctx context.Context) (any, error)
+}
+
+// Outcome is the per-trial execution record.
+type Outcome struct {
+	// ID echoes the trial's ID.
+	ID string
+	// Value is the trial's result.
+	Value any
+	// Wall is the trial's wall-clock execution time (zero when the value
+	// was served from the memo cache).
+	Wall time.Duration
+	// Virtual is the simulated (virtual) seconds the trial reported via
+	// the VirtualTimed interface, zero otherwise.
+	Virtual float64
+	// Memoized marks values served from (or shared through) the cache.
+	Memoized bool
+}
+
+// Report is the result of one Run call: outcomes in submission order plus
+// set-level accounting.
+type Report struct {
+	// Outcomes has one entry per submitted trial, in submission order.
+	Outcomes []Outcome
+	// Wall is the wall-clock time of the whole set.
+	Wall time.Duration
+	// CPUWall is the summed per-trial wall time — the serial-equivalent
+	// cost; CPUWall/Wall estimates the achieved parallelism.
+	CPUWall time.Duration
+	// Virtual is the summed virtual seconds simulated across the set.
+	Virtual float64
+	// Memoized counts trials served from the cache.
+	Memoized int
+}
+
+// VirtualTimed is implemented by trial results that carry simulated
+// (virtual) time; the engine aggregates it alongside wall-clock time so
+// sweeps can report how much virtual time they simulated per wall second.
+type VirtualTimed interface {
+	VirtualSeconds() float64
+}
+
+// Stats is the engine's cumulative accounting across all Run calls.
+type Stats struct {
+	Trials   int
+	Memoized int
+	Failed   int
+	CPUWall  time.Duration
+	Virtual  float64
+}
+
+// Engine executes trial sets on a bounded worker pool. An Engine is safe
+// for concurrent use; its memo cache persists across Run calls, so
+// experiments sharing factor combinations (e.g. `run all`) simulate each
+// combination once.
+type Engine struct {
+	workers int
+
+	mu    sync.Mutex
+	memo  map[string]*memoEntry
+	stats Stats
+}
+
+type memoEntry struct {
+	done    chan struct{}
+	value   any
+	virtual float64
+	err     error
+}
+
+// New returns an engine with the given worker-pool bound. A bound < 1
+// selects runtime.NumCPU().
+func New(workers int) *Engine {
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	return &Engine{workers: workers, memo: map[string]*memoEntry{}}
+}
+
+// Workers returns the pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats returns cumulative accounting across every Run call so far.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Run executes the trial set and returns outcomes in submission order.
+// On failure it returns the error of the lowest-index failing trial
+// (wrapped with the trial ID) after cancelling and draining the rest; on
+// caller cancellation it returns the context error.
+func (e *Engine) Run(ctx context.Context, trials []Trial) (*Report, error) {
+	start := time.Now()
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	outcomes := make([]Outcome, len(trials))
+	errs := make([]error, len(trials))
+
+	workers := e.workers
+	if workers > len(trials) {
+		workers = len(trials)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = e.runTrial(runCtx, trials[i], &outcomes[i])
+				if errs[i] != nil {
+					cancel() // first-error propagation: stop launching
+				}
+			}
+		}()
+	}
+feed:
+	for i := range trials {
+		select {
+		case idx <- i:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	rep := &Report{Outcomes: outcomes, Wall: time.Since(start)}
+	for _, o := range outcomes {
+		rep.CPUWall += o.Wall
+		rep.Virtual += o.Virtual
+		if o.Memoized {
+			rep.Memoized++
+		}
+	}
+	failed := 0
+	var firstErr error
+	for i, err := range errs {
+		if err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("trial %s: %w", trials[i].ID, err)
+			}
+		}
+	}
+	e.mu.Lock()
+	e.stats.Trials += len(trials)
+	e.stats.Memoized += rep.Memoized
+	e.stats.Failed += failed
+	e.stats.CPUWall += rep.CPUWall
+	e.stats.Virtual += rep.Virtual
+	e.mu.Unlock()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// The caller's context aborted the set before every trial ran.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// runTrial executes (or memo-serves) one trial, filling its outcome slot.
+func (e *Engine) runTrial(ctx context.Context, t Trial, out *Outcome) error {
+	out.ID = t.ID
+	if err := ctx.Err(); err != nil {
+		return nil // cancelled before start; Run reports the context error
+	}
+	if t.Key == "" {
+		start := time.Now()
+		v, err := t.Run(ctx)
+		if err != nil {
+			return err
+		}
+		out.Value, out.Wall, out.Virtual = v, time.Since(start), virtualOf(v)
+		return nil
+	}
+
+	e.mu.Lock()
+	ent, inFlight := e.memo[t.Key]
+	if !inFlight {
+		ent = &memoEntry{done: make(chan struct{})}
+		e.memo[t.Key] = ent
+	}
+	e.mu.Unlock()
+
+	if inFlight {
+		select {
+		case <-ent.done:
+		case <-ctx.Done():
+			return nil // Run reports the context error
+		}
+		if ent.err != nil {
+			return ent.err
+		}
+		out.Value, out.Virtual, out.Memoized = ent.value, ent.virtual, true
+		return nil
+	}
+
+	start := time.Now()
+	ent.value, ent.err = t.Run(ctx)
+	ent.virtual = virtualOf(ent.value)
+	close(ent.done)
+	if ent.err != nil {
+		return ent.err
+	}
+	out.Value, out.Wall, out.Virtual = ent.value, time.Since(start), ent.virtual
+	return nil
+}
+
+func virtualOf(v any) float64 {
+	if vt, ok := v.(VirtualTimed); ok {
+		return vt.VirtualSeconds()
+	}
+	return 0
+}
+
+// Map executes one trial per item through the engine, preserving item
+// order in the returned slice. The optional key function enables
+// memoization (nil disables it); label prefixes trial IDs for error
+// messages and accounting.
+func Map[T, R any](ctx context.Context, e *Engine, label string, items []T, key func(T) string, run func(context.Context, T) (R, error)) ([]R, error) {
+	trials := make([]Trial, len(items))
+	for i := range items {
+		item := items[i]
+		k := ""
+		if key != nil {
+			k = key(item)
+		}
+		trials[i] = Trial{
+			ID:  fmt.Sprintf("%s[%d]", label, i),
+			Key: k,
+			Run: func(ctx context.Context) (any, error) { return run(ctx, item) },
+		}
+	}
+	rep, err := e.Run(ctx, trials)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]R, len(items))
+	for i, o := range rep.Outcomes {
+		out[i] = o.Value.(R)
+	}
+	return out, nil
+}

@@ -35,6 +35,7 @@ import (
 	"wfsim/internal/dsarray"
 	"wfsim/internal/experiments"
 	"wfsim/internal/model"
+	"wfsim/internal/runner"
 	"wfsim/internal/runtime"
 	"wfsim/internal/sched"
 	"wfsim/internal/storage"
@@ -77,6 +78,9 @@ type (
 	Generator = dataset.Generator
 	// Experiment is one reproducible paper artifact.
 	Experiment = experiments.Experiment
+	// Runner executes experiment trials on a bounded worker pool with
+	// cancellation and memoization.
+	Runner = runner.Engine
 )
 
 // Parameter directions (PyCOMPSs-style).
@@ -159,6 +163,11 @@ var Datasets = struct {
 	dataset.MatmulSmall, dataset.MatmulLarge, dataset.MatmulSkew, dataset.MatmulTiny,
 	dataset.KMeansSmall, dataset.KMeansLarge, dataset.KMeansSkew, dataset.KMeansTiny,
 }
+
+// NewRunner returns a trial-execution engine with the given worker count
+// (0 or negative = all CPUs). Pass it to Experiment.Run; sharing one
+// engine across experiments shares its memoization cache.
+func NewRunner(workers int) *Runner { return runner.New(workers) }
 
 // ExperimentByID returns a paper experiment (fig1, fig7a, ... table1).
 func ExperimentByID(id string) (Experiment, error) { return experiments.ByID(id) }

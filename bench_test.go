@@ -188,6 +188,71 @@ func BenchmarkSimEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkSimHandoff measures the cost of one park/resume cycle: a process
+// blocking on Wait hands the baton off and takes it back — the dominant
+// operation of every simulated task (queueing, I/O, compute stages are all
+// Waits). Steady state should allocate nothing.
+func BenchmarkSimHandoff(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := sim.New()
+		e.Go("h", func(p *sim.Proc) {
+			for j := 0; j < 1000; j++ {
+				p.Wait(1e-6)
+			}
+		})
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimLinkChurn measures fair-share link membership churn: flows
+// continually joining and leaving force a completion-event reschedule and a
+// rate recomputation per change, the hot path of the storage/PCIe model.
+func BenchmarkSimLinkChurn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := sim.New()
+		l := sim.NewLink(e, "net", 1e6, 0)
+		for w := 0; w < 8; w++ {
+			w := w
+			e.Go("t", func(p *sim.Proc) {
+				p.Wait(float64(w) * 1e-4) // staggered: constant join/leave churn
+				for j := 0; j < 125; j++ {
+					l.Transfer(p, 1000+float64(j))
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimServerContention measures FIFO queue pressure: many more
+// processes than slots, so nearly every Acquire queues and every Release
+// performs a direct handoff to the head waiter.
+func BenchmarkSimServerContention(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := sim.New()
+		srv := sim.NewServer(e, "cpu", 4)
+		for w := 0; w < 32; w++ {
+			e.Go("t", func(p *sim.Proc) {
+				for j := 0; j < 32; j++ {
+					srv.Acquire(p)
+					p.Wait(1e-5)
+					srv.Release()
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimWorkflow measures a full paper-scale simulated K-means run
 // (1285 tasks, 10 GB, 256 blocks, 5 iterations).
 func BenchmarkSimWorkflow(b *testing.B) {

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -39,6 +40,24 @@ func captureStdout(t *testing.T, fn func() error) string {
 		t.Fatalf("command failed: %v", errRun)
 	}
 	return out
+}
+
+// elapsedStamp matches the wall-clock duration printed in the run header
+// ("(1.234s)") — the only non-deterministic part of rendered output.
+var elapsedStamp = regexp.MustCompile(`\([0-9a-zµ.]+s\)`)
+
+// TestCmdRunDeterminism is a regression test for the DES substrate: the
+// rendered experiment output must be byte-identical across runs. Event
+// pooling, goroutine reuse and in-heap rescheduling must be invisible.
+func TestCmdRunDeterminism(t *testing.T) {
+	render := func() string {
+		out := captureStdout(t, func() error { return cmdRun([]string{"fig1"}) })
+		return elapsedStamp.ReplaceAllString(out, "")
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("fig1 output differs between identical runs:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
 }
 
 func TestCmdList(t *testing.T) {

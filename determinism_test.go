@@ -1,0 +1,49 @@
+package wfsim_test
+
+// Determinism regression tests for the DES substrate: the simulator pools
+// event nodes, reuses goroutines and reschedules events in place on the live
+// heap, and none of it may perturb results. A paper-scale run executed twice
+// must produce identical metrics traces, record for record.
+
+import (
+	"bytes"
+	"testing"
+
+	"wfsim"
+)
+
+func kmeansTrace(t *testing.T) []byte {
+	t.Helper()
+	wf, err := wfsim.BuildKMeans(wfsim.KMeansConfig{
+		Dataset: wfsim.Datasets.KMeansSmall, Grid: 256, Clusters: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wfsim.RunSim(wf, wfsim.SimConfig{Device: wfsim.GPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Collector.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSimDeterminismKMeans256 runs the 256-block K-means simulation twice
+// and demands byte-identical stage-record traces: same tasks, same
+// placements, same timestamps, in the same order.
+func TestSimDeterminismKMeans256(t *testing.T) {
+	a, b := kmeansTrace(t), kmeansTrace(t)
+	if !bytes.Equal(a, b) {
+		la, lb := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+		for i := range la {
+			if i >= len(lb) || !bytes.Equal(la[i], lb[i]) {
+				t.Fatalf("trace diverges at line %d:\n  first:  %s\n  second: %s",
+					i+1, la[i], lb[i])
+			}
+		}
+		t.Fatalf("traces differ in length: %d vs %d lines", len(la), len(lb))
+	}
+}

@@ -42,6 +42,10 @@ const (
 	numStages
 )
 
+// NumStages is the number of distinct task stages; a task contributes at
+// most NumStages records to a collector.
+const NumStages = int(numStages)
+
 var stageNames = [numStages]string{
 	"sched", "deser", "comm_in", "parallel", "serial", "comm_out", "ser",
 }
@@ -79,6 +83,19 @@ type Collector struct {
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector { return &Collector{} }
+
+// Grow pre-sizes the record buffer for at least n additional records, so a
+// run whose record count is known up front (tasks × stages) appends without
+// reallocating mid-simulation.
+func (c *Collector) Grow(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if free := cap(c.records) - len(c.records); free < n {
+		grown := make([]Record, len(c.records), len(c.records)+n)
+		copy(grown, c.records)
+		c.records = grown
+	}
+}
 
 // Add appends a record.
 func (c *Collector) Add(r Record) {

@@ -121,6 +121,9 @@ func RunSim(wf *Workflow, cfg SimConfig) (*SimResult, error) {
 		load:      make([]int, cfg.Cluster.Nodes),
 		slots:     make([][]bool, cfg.Cluster.Nodes),
 	}
+	// Every record buffer append lands in one up-front allocation: the
+	// record count is bounded by tasks × stages.
+	run.collector.Grow(wf.Graph.Len() * metrics.NumStages)
 	for i := range run.slots {
 		run.slots[i] = make([]bool, cfg.Cluster.CoresPerNode)
 	}
@@ -218,15 +221,27 @@ func (r *simRun) acquireSlot(node int) int {
 }
 
 // enqueue registers a ready task and spawns its dispatch/execute process.
+// The process name is a constant: per-task names would cost a fmt.Sprintf
+// per task and are never surfaced (the scheduler decides at grant time
+// which queued task the process actually runs).
 func (r *simRun) enqueue(t *dag.Task) {
 	ref := sched.TaskRef{ID: t.ID, Name: t.Name}
+	nReads := 0
 	for _, p := range t.Params {
 		if p.Reads() {
-			ref.Inputs = append(ref.Inputs, sched.DataLoc{Key: p.Data, Bytes: r.wf.sizes[p.Data]})
+			nReads++
+		}
+	}
+	if nReads > 0 {
+		ref.Inputs = make([]sched.DataLoc, 0, nReads)
+		for _, p := range t.Params {
+			if p.Reads() {
+				ref.Inputs = append(ref.Inputs, sched.DataLoc{Key: p.Data, Bytes: r.wf.sizes[p.Data]})
+			}
 		}
 	}
 	r.queue.Push(ref)
-	r.eng.Go(fmt.Sprintf("task%d", t.ID), r.taskProc)
+	r.eng.Go("task", r.taskProc)
 }
 
 // taskProc is the full lifecycle of one dispatched task: scheduling on the

@@ -5,11 +5,21 @@
 // The engine follows a coroutine style: simulated activities are written as
 // ordinary sequential Go functions (processes) that block on virtual-time
 // primitives — Wait, Server.Acquire, Link.Transfer — while the engine
-// advances a virtual clock through a cancellable event heap. Control is
-// handed between the engine goroutine and exactly one process goroutine at a
-// time, so simulations are fully deterministic: the same inputs always
-// produce the same event order and the same virtual timestamps, regardless
-// of GOMAXPROCS.
+// advances a virtual clock through an indexed event heap. A single baton of
+// control moves between goroutines: the current holder runs the
+// event-dispatch loop inline and wakes the next process with one channel
+// send, so a park/resume cycle costs a single send/receive pair and exactly
+// one goroutine is ever running. Simulations are therefore fully
+// deterministic: the same inputs always produce the same event order and the
+// same virtual timestamps, regardless of GOMAXPROCS.
+//
+// The substrate is allocation-lean by design — this package is the hot path
+// of every experiment sweep. Event nodes are pooled and recycled
+// (generation-stamped handles keep Cancel safe across reuse); processes,
+// their goroutines and resume channels are pooled across Engine.Go calls;
+// blocking primitives reschedule pre-bound event nodes in place on the live
+// heap (Engine.Reschedule / heap fix) instead of cancelling and re-pushing.
+// Steady-state event traffic and process churn allocate nothing.
 //
 // Three primitives cover everything the cluster model needs:
 //

@@ -1,99 +1,339 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
 
-// Event is a scheduled callback in virtual time. Events are created with
-// Engine.Schedule and may be cancelled before they fire.
-type Event struct {
-	at       float64
-	seq      uint64 // tie-breaker: FIFO among events at the same instant
-	fn       func()
+// event is the engine-internal scheduled-callback node. Nodes are pooled:
+// when a pool-owned node fires it is recycled for the next Schedule, so
+// steady-state event traffic allocates nothing. Nodes owned by a Proc or a
+// Link (owned == true) are never returned to the pool — their owner reuses
+// them directly across schedule cycles.
+type event struct {
+	at  float64
+	seq uint64 // tie-breaker: FIFO among events at the same instant
+
+	// Exactly one of fn/proc is set: fn is a plain callback; proc marks a
+	// process handoff node that the dispatch loop resumes directly, with no
+	// closure or callback indirection.
+	fn   func()
+	proc *Proc
+
+	eng      *Engine
+	index    int    // heap index, -1 while off-heap
+	gen      uint64 // bumped each time a pooled node is recycled
+	owned    bool   // Proc-/Link-owned: reused by the owner, never pooled
 	canceled bool
-	index    int // heap index, -1 once popped
 }
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (ev *Event) Cancel() { ev.canceled = true }
+// Event is a handle to a scheduled callback, returned by Engine.Schedule.
+// It is a small value (copyable) carrying a generation stamp, so a handle
+// that outlives its event — the underlying storage may have been recycled
+// for a later Schedule — degrades safely: Cancel becomes a no-op and
+// Canceled reports false rather than corrupting an unrelated event.
+type Event struct {
+	n   *event
+	gen uint64
+}
+
+// Cancel removes the event from the schedule so it never fires. Cancelling
+// an already-fired, already-cancelled or zero Event is a no-op.
+func (ev Event) Cancel() {
+	n := ev.n
+	if n == nil || n.gen != ev.gen || n.index < 0 || n.canceled {
+		return
+	}
+	n.canceled = true
+	n.eng.events.remove(n.index)
+	// The node is intentionally NOT pooled: it keeps its generation and
+	// canceled flag forever, so Canceled() on this handle stays accurate.
+}
 
 // Canceled reports whether Cancel was called on the event.
-func (ev *Event) Canceled() bool { return ev.canceled }
+func (ev Event) Canceled() bool {
+	return ev.n != nil && ev.n.gen == ev.gen && ev.n.canceled
+}
 
-// At returns the virtual time at which the event is scheduled to fire.
-func (ev *Event) At() float64 { return ev.at }
+// Scheduled reports whether the event is still pending (not yet fired and
+// not cancelled).
+func (ev Event) Scheduled() bool {
+	return ev.n != nil && ev.n.gen == ev.gen && ev.n.index >= 0
+}
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// At returns the virtual time at which the event is scheduled to fire. It
+// is meaningful only while the event is pending (see Scheduled).
+func (ev Event) At() float64 {
+	if ev.n == nil || ev.n.gen != ev.gen {
+		return math.NaN()
 	}
-	return h[i].seq < h[j].seq
+	return ev.n.at
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// eventHeap is a 4-ary min-heap ordered by (at, seq), implemented directly
+// on the concrete element type: no container/heap interface dispatch, and
+// sift operations move elements with single assignments instead of swaps.
+// The shallower 4-ary shape trades a few extra comparisons per level for
+// half the levels and better cache behaviour on the hot push/pop path.
+type eventHeap []*event
+
+// before reports whether a fires strictly before b.
+func (h eventHeap) before(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+
+func (h eventHeap) up(i int) {
+	n := h[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !h.before(n, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].index = i
+		i = parent
+	}
+	h[i] = n
+	n.index = i
 }
-func (h *eventHeap) Pop() any {
+
+// down sifts h[i] toward the leaves; it reports whether the element moved.
+func (h eventHeap) down(i int) bool {
+	n := h[i]
+	start := i
+	sz := len(h)
+	for {
+		first := i<<2 + 1
+		if first >= sz {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > sz {
+			last = sz
+		}
+		for c := first + 1; c < last; c++ {
+			if h.before(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !h.before(h[min], n) {
+			break
+		}
+		h[i] = h[min]
+		h[i].index = i
+		i = min
+	}
+	h[i] = n
+	n.index = i
+	return i != start
+}
+
+func (h *eventHeap) push(n *event) {
+	*h = append(*h, n)
+	h.up(len(*h) - 1)
+}
+
+func (h *eventHeap) pop() *event {
 	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	root := old[0]
+	last := len(old) - 1
+	n := old[last]
+	old[last] = nil
+	*h = old[:last]
+	if last > 0 {
+		(*h)[0] = n
+		(*h).down(0)
+	}
+	root.index = -1
+	return root
+}
+
+// fix repairs the heap after the element at index i changed its key.
+func (h eventHeap) fix(i int) {
+	if !h.down(i) {
+		h.up(i)
+	}
+}
+
+// remove deletes the element at index i.
+func (h *eventHeap) remove(i int) {
+	old := *h
+	last := len(old) - 1
+	removed := old[i]
+	if i != last {
+		old[i] = old[last]
+		old[i].index = i
+	}
+	old[last] = nil
+	*h = old[:last]
+	if i < last {
+		h.fix(i)
+	}
+	removed.index = -1
 }
 
 // Engine is a deterministic discrete-event simulator. The zero value is not
 // usable; construct with New.
+//
+// # Handoff protocol
+//
+// The engine runs processes as coroutines over goroutines with a single
+// "baton" of control: at any instant exactly one goroutine — the baton
+// holder — is running, and it is the one executing the event-dispatch loop
+// (dispatch). Plain callback events run inline on the holder's goroutine.
+// When the next event belongs to a process, the holder wakes that process
+// with one channel send (the baton handoff) and then blocks until its own
+// wake-up event is dispatched by a later holder. A blocking primitive
+// (Wait, Server.Acquire, Link.Transfer) therefore costs a single
+// send/receive pair per park/resume, and the simulation stays deterministic
+// regardless of GOMAXPROCS.
 type Engine struct {
 	now    float64
 	events eventHeap
 	seq    uint64
 
-	// yield is the engine<->process handoff channel. A process goroutine
-	// sends one token when it parks or finishes; the engine (inside event
-	// dispatch) receives it. Unbuffered, so exactly one goroutine runs at a
-	// time and the simulation is deterministic.
-	yield chan struct{}
+	free []*event // recycled pool-owned event nodes
+
+	// done is signalled by the baton holder that drains the event queue (or
+	// hits a corrupt-time error) while Run's goroutine is parked.
+	done chan struct{}
+
+	err error // sticky corrupt-simulation error discovered during dispatch
 
 	liveProcs   int // started and not yet finished
 	parkedProcs int // blocked on a resume channel
+
+	// freeProcs holds finished Procs whose goroutines are parked awaiting
+	// reuse; Go pops from here before allocating. Run drains the list (and
+	// stops the goroutines) on exit.
+	freeProcs []*Proc
 
 	ran bool
 }
 
 // New returns an empty engine with the clock at 0.
 func New() *Engine {
-	return &Engine{yield: make(chan struct{})}
+	return &Engine{done: make(chan struct{})}
 }
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
-// Schedule registers fn to run after delay seconds of virtual time and
-// returns the event so it can be cancelled. A negative or NaN delay panics:
-// the simulated cluster never produces one, so it indicates a cost-model bug
-// that must not be silently clamped.
-func (e *Engine) Schedule(delay float64, fn func()) *Event {
+// checkDelay panics on the delays the simulated cluster never produces —
+// a negative or NaN delay indicates a cost-model bug that must not be
+// silently clamped.
+func (e *Engine) checkDelay(delay float64) {
 	if delay < 0 || math.IsNaN(delay) {
 		panic(fmt.Sprintf("sim: Schedule with invalid delay %v at t=%v", delay, e.now))
 	}
+}
+
+// getNode returns a pool-owned node ready for scheduling.
+func (e *Engine) getNode() *event {
+	if k := len(e.free); k > 0 {
+		n := e.free[k-1]
+		e.free[k-1] = nil
+		e.free = e.free[:k-1]
+		return n
+	}
+	return &event{eng: e, index: -1}
+}
+
+// putNode recycles a fired pool-owned node. Bumping the generation
+// invalidates every outstanding handle to the node's previous use.
+func (e *Engine) putNode(n *event) {
+	n.gen++
+	n.fn = nil
+	n.canceled = false
+	e.free = append(e.free, n)
+}
+
+// schedNode pushes an off-heap node with a fresh sequence number. It is the
+// single entry point for owned nodes (Proc resume events, Link completion
+// events), so its seq assignment order — not node identity — is what fixes
+// the deterministic event order.
+func (e *Engine) schedNode(n *event, delay float64) {
+	e.checkDelay(delay)
+	if n.index >= 0 {
+		panic(fmt.Sprintf("sim: event already scheduled at t=%v", n.at))
+	}
+	n.at = e.now + delay
 	e.seq++
-	ev := &Event{at: e.now + delay, seq: e.seq, fn: fn}
-	heap.Push(&e.events, ev)
-	return ev
+	n.seq = e.seq
+	n.canceled = false
+	e.events.push(n)
+}
+
+// fixNode reschedules a node in place: if it is on the heap its position is
+// repaired with fix (no pop/re-push, no dead entry left behind); otherwise
+// it is pushed. Either way it receives a fresh sequence number, exactly as
+// if it had been cancelled and re-scheduled — so event ordering is
+// identical to the cancel-and-repush protocol it replaces.
+func (e *Engine) fixNode(n *event, delay float64) {
+	e.checkDelay(delay)
+	n.at = e.now + delay
+	e.seq++
+	n.seq = e.seq
+	if n.index >= 0 {
+		e.events.fix(n.index)
+	} else {
+		n.canceled = false
+		e.events.push(n)
+	}
+}
+
+// Schedule registers fn to run after delay seconds of virtual time and
+// returns a handle so it can be cancelled or rescheduled. A negative or NaN
+// delay panics.
+func (e *Engine) Schedule(delay float64, fn func()) Event {
+	n := e.getNode()
+	n.fn = fn
+	e.schedNode(n, delay)
+	return Event{n: n, gen: n.gen}
+}
+
+// Reschedule moves a still-pending event to fire after delay seconds from
+// the current instant, updating its position in the schedule in place
+// (fix on the live heap index) instead of cancelling and re-adding it. The
+// event receives a fresh sequence number, so it orders among same-instant
+// events exactly as a newly scheduled one. Rescheduling an event that
+// already fired or was cancelled panics: it no longer exists, so the caller
+// holds a stale handle and must Schedule anew.
+func (e *Engine) Reschedule(ev Event, delay float64) {
+	n := ev.n
+	if n == nil || n.gen != ev.gen || n.index < 0 {
+		panic(fmt.Sprintf("sim: Reschedule of completed event at t=%v", e.now))
+	}
+	e.fixNode(n, delay)
+}
+
+// dispatch is the event loop run by the current baton holder: it pops
+// events, advances the clock, and runs callback events inline. It returns
+// the process the next handoff event belongs to, or nil when the queue is
+// exhausted (or the simulation is corrupt; see e.err) and the holder must
+// end the simulation.
+func (e *Engine) dispatch() *Proc {
+	for len(e.events) > 0 {
+		n := e.events.pop()
+		if n.at < e.now {
+			e.err = fmt.Errorf("sim: time went backwards: %v < %v", n.at, e.now)
+			return nil
+		}
+		e.now = n.at
+		if n.proc != nil {
+			return n.proc
+		}
+		fn := n.fn
+		if !n.owned {
+			e.putNode(n)
+		}
+		fn()
+	}
+	return nil
 }
 
 // Run executes events until the queue drains. It returns an error if the
@@ -105,16 +345,15 @@ func (e *Engine) Run() error {
 		return fmt.Errorf("sim: Run called twice")
 	}
 	e.ran = true
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.canceled {
-			continue
-		}
-		if ev.at < e.now {
-			return fmt.Errorf("sim: time went backwards: %v < %v", ev.at, e.now)
-		}
-		e.now = ev.at
-		ev.fn()
+	if next := e.dispatch(); next != nil {
+		// Hand the baton to the first process and park this goroutine until
+		// some baton holder finishes the simulation.
+		next.begin()
+		<-e.done
+	}
+	e.stopPooledProcs()
+	if e.err != nil {
+		return e.err
 	}
 	if e.parkedProcs > 0 {
 		return fmt.Errorf("sim: deadlock: %d process(es) parked with no pending events at t=%v",
@@ -123,6 +362,16 @@ func (e *Engine) Run() error {
 	return nil
 }
 
-// Pending returns the number of events currently scheduled (including
-// cancelled events that have not yet been popped).
+// stopPooledProcs terminates the goroutines of pooled (finished, reusable)
+// processes when the simulation ends, so an engine never leaks goroutines.
+func (e *Engine) stopPooledProcs() {
+	for i, p := range e.freeProcs {
+		close(p.resume) // wakes p.main with fn == nil: the goroutine exits
+		e.freeProcs[i] = nil
+	}
+	e.freeProcs = e.freeProcs[:0]
+}
+
+// Pending returns the number of live scheduled events. Cancelled events are
+// removed from the schedule immediately, so they are never counted.
 func (e *Engine) Pending() int { return len(e.events) }

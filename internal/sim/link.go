@@ -20,22 +20,31 @@ const completionEpsilon = 1e-6
 //
 // Link models PCIe buses, node-local disks, NICs and the shared GPFS
 // backend. Latency, if non-zero, is a per-transfer startup delay paid before
-// the flow joins the shared pipe (seek/RPC/DMA-setup time).
+// the flow joins the shared pipe (seek/RPC/DMA-setup time); it counts as
+// link occupancy for busy-time accounting.
+//
+// The link owns a single completion event node, moved in place with
+// heap.Fix on every membership change (no cancel-and-repush, no dead heap
+// entries), and a free list of flow structs, so steady-state transfer
+// traffic allocates nothing.
 type Link struct {
 	eng     *Engine
 	name    string
 	bw      float64 // bytes per second
 	latency float64 // seconds per transfer
 
-	active     []*flow // insertion order: deterministic completion handling
+	active    []*flow // insertion order: deterministic completion handling
+	freeFlows []*flow
+
 	lastUpdate float64
-	next       *Event // pending completion event, nil if no active flows
-	target     *flow  // the flow the pending completion event drains
+	next       event // owned completion node, on-heap while target != nil
+	target     *flow // earliest-finishing active flow; the completion drains it
 
 	bytesMoved float64 // total bytes fully transferred
 	transfers  uint64
-	busyInt    float64 // ∫ [active>0] dt
-	busySince  float64 // valid when len(active)>0
+	busyInt    float64 // ∫ [occupied] dt, occupancy = active flows + latency waits
+	busySince  float64 // valid when occ > 0
+	occ        int     // active flows + transfers paying their startup latency
 }
 
 type flow struct {
@@ -54,7 +63,12 @@ func NewLink(e *Engine, name string, bandwidth, latency float64) *Link {
 	if latency < 0 || math.IsNaN(latency) {
 		panic(fmt.Sprintf("sim: link %q with invalid latency %v", name, latency))
 	}
-	return &Link{eng: e, name: name, bw: bandwidth, latency: latency}
+	l := &Link{eng: e, name: name, bw: bandwidth, latency: latency}
+	l.next.eng = e
+	l.next.index = -1
+	l.next.owned = true
+	l.next.fn = l.complete
+	return l
 }
 
 // Name returns the link's diagnostic name.
@@ -75,14 +89,31 @@ func (l *Link) BytesMoved() float64 { return l.bytesMoved }
 // Transfers returns the number of completed transfers.
 func (l *Link) Transfers() uint64 { return l.transfers }
 
-// BusyTime returns the total virtual time during which at least one flow was
-// active on the link.
+// BusyTime returns the total virtual time during which the link was
+// occupied: at least one flow active or at least one transfer paying its
+// startup latency (a latency-only transfer is real occupancy too).
 func (l *Link) BusyTime() float64 {
 	b := l.busyInt
-	if len(l.active) > 0 {
+	if l.occ > 0 {
 		b += l.eng.now - l.busySince
 	}
 	return b
+}
+
+// occupy/vacate maintain the busy-time integral over the link's occupancy
+// count (active flows + latency waiters).
+func (l *Link) occupy() {
+	if l.occ == 0 {
+		l.busySince = l.eng.now
+	}
+	l.occ++
+}
+
+func (l *Link) vacate() {
+	l.occ--
+	if l.occ == 0 {
+		l.busyInt += l.eng.now - l.busySince
+	}
 }
 
 // rate returns the current per-flow rate in bytes/second.
@@ -100,63 +131,74 @@ func (l *Link) advance() {
 	l.lastUpdate = l.eng.now
 }
 
-// reschedule cancels any pending completion event and schedules one that
-// drains the earliest-finishing active flow. The rate is constant between
-// membership changes, so at the event instant that flow's remainder is zero
-// up to float64 drift; complete forces it to zero, which guarantees
-// progress even when the delay is too small to advance the clock (a tiny
-// residue absorbed by now+delay == now would otherwise livelock).
-func (l *Link) reschedule() {
-	if l.next != nil {
-		l.next.Cancel()
-		l.next = nil
-		l.target = nil
+// getFlow/putFlow recycle flow structs across transfers.
+func (l *Link) getFlow(bytes float64, p *Proc) *flow {
+	if k := len(l.freeFlows); k > 0 {
+		f := l.freeFlows[k-1]
+		l.freeFlows[k-1] = nil
+		l.freeFlows = l.freeFlows[:k-1]
+		f.remaining, f.total, f.proc = bytes, bytes, p
+		return f
 	}
-	if len(l.active) == 0 {
-		return
-	}
-	minFlow := l.active[0]
-	for _, f := range l.active[1:] {
-		if f.remaining < minFlow.remaining {
-			minFlow = f
-		}
-	}
-	delay := minFlow.remaining / l.rate()
+	return &flow{remaining: bytes, total: bytes, proc: p}
+}
+
+func (l *Link) putFlow(f *flow) {
+	f.proc = nil
+	l.freeFlows = append(l.freeFlows, f)
+}
+
+// retarget points the pending completion event at flow f. All flows drain
+// at the same rate, so f stays the earliest finisher until the next
+// membership change. The rate is constant between membership changes, so at
+// the event instant f's remainder is zero up to float64 drift; complete
+// forces it to zero, which guarantees progress even when the delay is too
+// small to advance the clock (a tiny residue absorbed by now+delay == now
+// would otherwise livelock). The completion node gets a fresh sequence
+// number, preserving the event order of the cancel-and-repush protocol this
+// replaces.
+func (l *Link) retarget(f *flow) {
+	delay := f.remaining / l.rate()
 	if delay < 0 {
 		delay = 0
 	}
-	l.target = minFlow
-	l.next = l.eng.Schedule(delay, l.complete)
+	l.target = f
+	l.eng.fixNode(&l.next, delay)
 }
 
 // complete fires when the target flow has drained; it removes the target
 // plus any other flow within float64 drift of empty, wakes their processes
-// in insertion order, and reschedules the remainder.
+// in insertion order, and retargets the earliest remaining flow — found
+// during the same removal sweep, not by a second scan.
 func (l *Link) complete() {
-	l.next = nil
 	if l.target != nil {
 		l.target.remaining = 0
 	}
 	l.target = nil
 	l.advance()
 	kept := l.active[:0]
+	var min *flow
 	for _, f := range l.active {
 		if f.remaining <= completionEpsilon+1e-12*f.total {
 			l.transfers++
 			l.bytesMoved += f.total
 			f.proc.unpark()
+			l.putFlow(f)
+			l.vacate()
 		} else {
 			kept = append(kept, f)
+			if min == nil || f.remaining < min.remaining {
+				min = f
+			}
 		}
 	}
 	for i := len(kept); i < len(l.active); i++ {
 		l.active[i] = nil
 	}
 	l.active = kept
-	if len(l.active) == 0 {
-		l.busyInt += l.eng.now - l.busySince
+	if min != nil {
+		l.retarget(min)
 	}
-	l.reschedule()
 }
 
 // Transfer moves bytes over the link on behalf of process p, blocking in
@@ -167,18 +209,25 @@ func (l *Link) Transfer(p *Proc, bytes float64) {
 		panic(fmt.Sprintf("sim: transfer of %v bytes on link %q", bytes, l.name))
 	}
 	if l.latency > 0 {
+		l.occupy()
 		p.Wait(l.latency)
+		l.vacate()
 	}
 	if bytes == 0 {
 		l.transfers++
 		return
 	}
 	l.advance()
-	if len(l.active) == 0 {
-		l.busySince = l.eng.now
-	}
-	f := &flow{remaining: bytes, total: bytes, proc: p}
+	l.occupy()
+	f := l.getFlow(bytes, p)
 	l.active = append(l.active, f)
-	l.reschedule()
+	// Incremental min tracking: the new flow preempts the current target
+	// only if it finishes strictly earlier; either way the shared rate
+	// changed, so the completion event moves.
+	if l.target == nil || f.remaining < l.target.remaining {
+		l.retarget(f)
+	} else {
+		l.retarget(l.target)
+	}
 	p.park()
 }

@@ -4,26 +4,82 @@ package sim
 // time. Procs are created with Engine.Go and may block on Wait,
 // Server.Acquire and Link.Transfer. All Proc methods must be called from the
 // process's own goroutine.
+//
+// Procs (and their goroutines and channels) are pooled by the engine: when
+// a process function returns, the Proc parks in the engine's free list and
+// the next Engine.Go reuses it — its resume channel, its pre-bound resume
+// event node, and its warmed-up goroutine stack — so spawning a process in
+// steady state allocates nothing and pays no goroutine-creation cost.
 type Proc struct {
-	eng    *Engine
-	name   string
-	resume chan struct{}
+	eng     *Engine
+	name    string
+	fn      func(*Proc)
+	resume  chan struct{}
+	ev      event // pre-bound resume/start node, reused across park cycles
+	spawned bool  // goroutine exists (running, parked, or pooled)
 }
 
 // Go starts fn as a simulated process at the current virtual time. The name
 // is used in diagnostics only. Go may be called both from outside Run (to
 // seed the simulation) and from a running process or event callback.
 func (e *Engine) Go(name string, fn func(p *Proc)) {
-	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	var p *Proc
+	if k := len(e.freeProcs); k > 0 {
+		p = e.freeProcs[k-1]
+		e.freeProcs[k-1] = nil
+		e.freeProcs = e.freeProcs[:k-1]
+	} else {
+		p = &Proc{eng: e, resume: make(chan struct{})}
+		p.ev.eng = e
+		p.ev.index = -1
+		p.ev.proc = p
+		p.ev.owned = true
+	}
+	p.name, p.fn = name, fn
 	e.liveProcs++
-	e.Schedule(0, func() {
-		go func() {
-			fn(p)
-			e.liveProcs--
-			e.yield <- struct{}{} // hand control back: process finished
-		}()
-		<-e.yield // wait until the new process parks or finishes
-	})
+	e.schedNode(&p.ev, 0)
+}
+
+// begin transfers the baton to p: a fresh process gets its goroutine here
+// (the goroutine starts running the process function immediately); a parked
+// or pooled one is woken with a single channel send. The caller must block
+// right after — on its own resume channel or on engine.done — so exactly
+// one goroutine keeps running.
+func (p *Proc) begin() {
+	if p.spawned {
+		p.resume <- struct{}{}
+	} else {
+		p.spawned = true
+		go p.main()
+	}
+}
+
+// main is the process goroutine: it runs the current function; when the
+// function returns, the process keeps the baton, so it continues dispatching
+// events, pools itself once the baton moves on, and then sleeps until the
+// engine either assigns it new work (pool reuse via Go) or closes the resume
+// channel (simulation over).
+func (p *Proc) main() {
+	e := p.eng
+	for {
+		p.fn(p)
+		e.liveProcs--
+		p.fn = nil
+		p.name = ""
+		next := e.dispatch()
+		// Pool p before the handoff: p's goroutine touches no engine state
+		// after this point, and a dispatched Go may immediately reuse it.
+		e.freeProcs = append(e.freeProcs, p)
+		if next != nil {
+			next.begin()
+		} else {
+			e.done <- struct{}{} // simulation over; wake Run
+		}
+		<-p.resume // reused by a later Go, or woken by close
+		if p.fn == nil {
+			return // engine shut down the pool
+		}
+	}
 }
 
 // Engine returns the engine the process runs on.
@@ -35,36 +91,57 @@ func (p *Proc) Name() string { return p.name }
 // Now returns the current virtual time.
 func (p *Proc) Now() float64 { return p.eng.now }
 
-// park blocks the process until another event resumes it via unpark. It
-// must only be called with a wake-up already arranged (a scheduled event or
-// a queue registration), otherwise Run reports a deadlock.
-func (p *Proc) park() {
-	p.eng.parkedProcs++
-	p.eng.yield <- struct{}{} // give control back to the engine
-	<-p.resume                // wait to be woken
-	p.eng.parkedProcs--
+// waitTurn hands the baton onward until this process's own wake-up arrives.
+// It must only be called with a wake-up already arranged: the process's
+// resume node scheduled (Wait, unpark) or a queue registration that will
+// eventually unpark it, otherwise Run reports a deadlock.
+//
+// The process keeps dispatching events inline; when the next event belongs
+// to another process it wakes that process (one channel send) and blocks
+// until a later baton holder dispatches this process's own resume node.
+func (p *Proc) waitTurn() {
+	e := p.eng
+	next := e.dispatch()
+	if next == p {
+		return // our own node came up: keep running, keep the baton
+	}
+	if next != nil {
+		next.begin()
+		<-p.resume // a later holder dispatched our node
+		return
+	}
+	// Queue drained (deadlock: we are still mid-task) or corrupt time.
+	// End the simulation and abandon this goroutine, exactly as a parked
+	// process with no wake-up would be abandoned.
+	e.done <- struct{}{}
+	<-p.resume // never signalled: parks forever
 }
 
-// unpark schedules an event at the current instant that transfers control to
-// the parked process. It must be called from the engine side (an event
+// park blocks the process until another event resumes it via unpark.
+func (p *Proc) park() {
+	e := p.eng
+	e.parkedProcs++
+	p.waitTurn()
+	e.parkedProcs--
+}
+
+// unpark schedules the process's pre-bound resume node at the current
+// instant; when it is dispatched, the baton holder transfers control to the
+// parked process directly. It must be called from the engine side (an event
 // callback) or from another process; never from the parked process itself.
+// A parked process has no pending node (Wait's node fired before it
+// parked), so the node is always free here.
 func (p *Proc) unpark() {
-	p.eng.Schedule(0, func() {
-		p.resume <- struct{}{} // wake the process
-		<-p.eng.yield          // wait until it parks again or finishes
-	})
+	p.eng.schedNode(&p.ev, 0)
 }
 
 // Wait advances the process by d seconds of virtual time. d must be
 // non-negative; zero is allowed and yields to other events scheduled at the
 // same instant.
 func (p *Proc) Wait(d float64) {
-	p.eng.Schedule(d, func() {
-		p.resume <- struct{}{}
-		<-p.eng.yield
-	})
-	p.eng.parkedProcs++
-	p.eng.yield <- struct{}{}
-	<-p.resume
-	p.eng.parkedProcs--
+	e := p.eng
+	e.schedNode(&p.ev, d)
+	e.parkedProcs++
+	p.waitTurn()
+	e.parkedProcs--
 }

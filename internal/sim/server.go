@@ -7,6 +7,9 @@ import "fmt"
 // Capacity processes hold the server at once; further Acquire calls queue in
 // arrival order.
 //
+// The wait queue is a head-index ring buffer, so dequeueing a waiter on
+// Release is O(1) instead of sliding the whole slice.
+//
 // Server also integrates its occupancy over virtual time so experiments can
 // report resource utilization (the paper's "resource wastage" discussion).
 type Server struct {
@@ -15,7 +18,11 @@ type Server struct {
 	cap  int
 
 	inUse int
-	queue []*Proc // FIFO waiters
+
+	// FIFO waiters: ring buffer of qlen entries starting at queue[qhead].
+	queue []*Proc
+	qhead int
+	qlen  int
 
 	lastChange float64
 	busyInt    float64 // ∫ inUse dt
@@ -41,10 +48,34 @@ func (s *Server) Capacity() int { return s.cap }
 func (s *Server) InUse() int { return s.inUse }
 
 // QueueLen returns the number of processes waiting to acquire the server.
-func (s *Server) QueueLen() int { return len(s.queue) }
+func (s *Server) QueueLen() int { return s.qlen }
 
 // Acquired returns the total number of successful acquisitions so far.
 func (s *Server) Acquired() uint64 { return s.acquired }
+
+// qpush appends a waiter to the ring, growing (and linearizing) it when
+// full.
+func (s *Server) qpush(p *Proc) {
+	if s.qlen == len(s.queue) {
+		grown := make([]*Proc, max(2*len(s.queue), 8))
+		for i := 0; i < s.qlen; i++ {
+			grown[i] = s.queue[(s.qhead+i)%len(s.queue)]
+		}
+		s.queue = grown
+		s.qhead = 0
+	}
+	s.queue[(s.qhead+s.qlen)%len(s.queue)] = p
+	s.qlen++
+}
+
+// qpop removes and returns the head waiter.
+func (s *Server) qpop() *Proc {
+	p := s.queue[s.qhead]
+	s.queue[s.qhead] = nil
+	s.qhead = (s.qhead + 1) % len(s.queue)
+	s.qlen--
+	return p
+}
 
 func (s *Server) accumulate() {
 	now := s.eng.now
@@ -55,13 +86,13 @@ func (s *Server) accumulate() {
 // Acquire blocks the process until a slot is free, then takes it. Slots are
 // granted strictly in arrival order.
 func (s *Server) Acquire(p *Proc) {
-	if s.inUse < s.cap && len(s.queue) == 0 {
+	if s.inUse < s.cap && s.qlen == 0 {
 		s.accumulate()
 		s.inUse++
 		s.acquired++
 		return
 	}
-	s.queue = append(s.queue, p)
+	s.qpush(p)
 	p.park()
 	// The releaser already took the slot on our behalf (see Release), so
 	// nothing to do here: we own a slot when we wake.
@@ -70,7 +101,7 @@ func (s *Server) Acquire(p *Proc) {
 // TryAcquire takes a slot if one is immediately free and no process is
 // queued ahead; it reports whether the acquisition succeeded.
 func (s *Server) TryAcquire() bool {
-	if s.inUse < s.cap && len(s.queue) == 0 {
+	if s.inUse < s.cap && s.qlen == 0 {
 		s.accumulate()
 		s.inUse++
 		s.acquired++
@@ -88,11 +119,8 @@ func (s *Server) Release() {
 	}
 	s.accumulate()
 	s.inUse--
-	if len(s.queue) > 0 {
-		next := s.queue[0]
-		copy(s.queue, s.queue[1:])
-		s.queue[len(s.queue)-1] = nil
-		s.queue = s.queue[:len(s.queue)-1]
+	if s.qlen > 0 {
+		next := s.qpop()
 		s.inUse++ // hand the slot to next before anyone else can take it
 		s.acquired++
 		next.unpark()

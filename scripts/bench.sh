@@ -1,0 +1,16 @@
+#!/bin/sh
+# Run the DES-substrate micro-benchmarks and append a labelled snapshot to
+# BENCH_substrate.json. Run from the repository root:
+#
+#     scripts/bench.sh <label> [count]
+#
+# <label> names the snapshot (e.g. "pre-refactor", "after-pooling");
+# [count] is the go test -count repetition (default 5; results are averaged).
+set -eu
+
+label=${1:?usage: scripts/bench.sh <label> [count]}
+count=${2:-5}
+
+go test -run '^$' -bench 'Sim(Engine|Handoff|LinkChurn|ServerContention|Workflow)$' \
+    -benchmem -count "$count" . |
+    go run scripts/benchsnap.go -label "$label"

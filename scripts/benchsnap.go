@@ -1,0 +1,128 @@
+//go:build ignore
+
+// benchsnap parses `go test -bench` output on stdin and appends a labelled
+// snapshot to a JSON benchmark-tracking file (default BENCH_substrate.json).
+// Multiple -count runs of the same benchmark are averaged. Usage:
+//
+//	go test -run '^$' -bench 'Sim' -benchmem -count 5 . |
+//	    go run scripts/benchsnap.go -label after-my-change
+//
+// The file keeps every snapshot ever recorded, so a perf regression (or an
+// optimisation claim) is checkable against history instead of folklore.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type bench struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	runs        int
+}
+
+type snapshot struct {
+	Label      string            `json:"label"`
+	Date       string            `json:"date"`
+	Go         string            `json:"go"`
+	Benchmarks map[string]*bench `json:"benchmarks"`
+}
+
+type file struct {
+	Snapshots []*snapshot `json:"snapshots"`
+}
+
+func main() {
+	label := flag.String("label", "", "snapshot label (required)")
+	out := flag.String("out", "BENCH_substrate.json", "tracking file to append to")
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "benchsnap: -label is required")
+		os.Exit(2)
+	}
+
+	snap := &snapshot{
+		Label:      *label,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Go:         runtime.Version(),
+		Benchmarks: map[string]*bench{},
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the run stays visible
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		// BenchmarkName-8  N  ns/op  [B/op]  [allocs/op]
+		if len(f) < 4 || f[3] != "ns/op" {
+			continue
+		}
+		name := strings.TrimPrefix(f[0], "Benchmark")
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+		ns, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			continue
+		}
+		b := snap.Benchmarks[name]
+		if b == nil {
+			b = &bench{}
+			snap.Benchmarks[name] = b
+		}
+		b.runs++
+		b.NsPerOp += (ns - b.NsPerOp) / float64(b.runs)
+		for i := 4; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "B/op":
+				b.BytesPerOp += (v - b.BytesPerOp) / float64(b.runs)
+			case "allocs/op":
+				b.AllocsPerOp += (v - b.AllocsPerOp) / float64(b.runs)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchsnap: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	var all file
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &all); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: %s is not valid JSON: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	all.Snapshots = append(all.Snapshots, snap)
+	data, err := json.MarshalIndent(&all, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchsnap: recorded %d benchmark(s) as %q in %s\n",
+		len(snap.Benchmarks), *label, *out)
+}

@@ -10,6 +10,11 @@
 //	wfsim sweep [-alg kmeans|matmul] [-dataset small|large|tiny]
 //	                                   print a block-size sweep (CPU vs GPU)
 //	wfsim trace [-grid g] [-out file]  run K-means and dump a Paraver-like trace
+//
+// The CLI reports real elapsed time to humans, so it is wall-clock layer
+// by design and exempt from the walltime determinism lint.
+//
+//wfsimlint:wallclock
 package main
 
 import (

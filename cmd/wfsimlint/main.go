@@ -1,0 +1,82 @@
+// Command wfsimlint is wfsim's determinism multichecker: it applies the
+// internal/lint analyzers — maporder, walltime, seedrand, floatreduce —
+// to the module and exits non-zero on any finding. CI runs it as the
+// Lint step; locally:
+//
+//	go run ./cmd/wfsimlint ./...            # whole module
+//	go run ./cmd/wfsimlint ./internal/sim   # one package
+//	go run ./cmd/wfsimlint -tests=false ./...
+//	go run ./cmd/wfsimlint -help            # rule documentation
+//
+// Findings print as file:line:col: rule: message. See DESIGN.md
+// ("Determinism invariants") for each rule's rationale and the
+// //wfsimlint:allow escape hatch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wfsim/internal/lint"
+	"wfsim/internal/lint/analysis"
+)
+
+func main() {
+	tests := flag.Bool("tests", true, "also lint _test.go files (walltime and seedrand always skip them)")
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	flag.Usage = usage
+	flag.Parse()
+
+	byName := map[string]*analysis.Analyzer{}
+	for _, az := range lint.Analyzers {
+		byName[az.Name] = az
+	}
+	active := lint.Analyzers
+	if *rules != "" {
+		active = active[:0:0]
+		for _, r := range strings.Split(*rules, ",") {
+			if r = strings.TrimSpace(r); r == "" {
+				continue
+			}
+			az, ok := byName[r]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "wfsimlint: unknown rule %q\n", r)
+				os.Exit(2)
+			}
+			active = append(active, az)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfsimlint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(cwd, active, *tests, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfsimlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "wfsimlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: wfsimlint [-tests=bool] [-rules r1,r2] [./... | ./pkg/path ...]\n\nrules:\n")
+	for _, az := range lint.Analyzers {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", az.Name, az.Doc)
+	}
+	flag.PrintDefaults()
+}

@@ -405,33 +405,44 @@ func (p *Params) Validate() error {
 		}
 		return nil
 	}
-	for name, v := range map[string]float64{
-		"SerialRate":        p.SerialRate,
-		"GPULaunch":         p.GPULaunch,
-		"PCIeBandwidth":     p.PCIeBandwidth,
-		"GPUMemBytes":       p.GPUMemBytes,
-		"NodeRAMBytes":      p.NodeRAMBytes,
-		"DeserRate":         p.DeserRate,
-		"SerRate":           p.SerRate,
-		"DiskBandwidth":     p.DiskBandwidth,
-		"SharedBandwidth":   p.SharedBandwidth,
-		"NICBandwidth":      p.NICBandwidth,
-		"SoloThreadSpeedup": p.SoloThreadSpeedup,
-	} {
-		if err := check(name, v); err != nil {
+	// Ordered slices, not map literals: which violation is reported when
+	// several constants are invalid must not depend on map iteration
+	// order (wfsimlint:maporder would flag the map form).
+	positive := []struct {
+		name string
+		v    float64
+	}{
+		{"SerialRate", p.SerialRate},
+		{"GPULaunch", p.GPULaunch},
+		{"PCIeBandwidth", p.PCIeBandwidth},
+		{"GPUMemBytes", p.GPUMemBytes},
+		{"NodeRAMBytes", p.NodeRAMBytes},
+		{"DeserRate", p.DeserRate},
+		{"SerRate", p.SerRate},
+		{"DiskBandwidth", p.DiskBandwidth},
+		{"SharedBandwidth", p.SharedBandwidth},
+		{"NICBandwidth", p.NICBandwidth},
+		{"SoloThreadSpeedup", p.SoloThreadSpeedup},
+	}
+	for _, c := range positive {
+		if err := check(c.name, c.v); err != nil {
 			return err
 		}
 	}
-	for name, v := range map[string]float64{
-		"PCIeLatency":   p.PCIeLatency,
-		"DiskLatency":   p.DiskLatency,
-		"SharedLatency": p.SharedLatency,
-		"NICLatency":    p.NICLatency,
-		"SchedFIFO":     p.SchedFIFO,
-		"SchedLocality": p.SchedLocality,
-	} {
-		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("costmodel: %s = %v, must be non-negative and finite", name, v)
+	nonNegative := []struct {
+		name string
+		v    float64
+	}{
+		{"PCIeLatency", p.PCIeLatency},
+		{"DiskLatency", p.DiskLatency},
+		{"SharedLatency", p.SharedLatency},
+		{"NICLatency", p.NICLatency},
+		{"SchedFIFO", p.SchedFIFO},
+		{"SchedLocality", p.SchedLocality},
+	}
+	for _, c := range nonNegative {
+		if c.v < 0 || math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("costmodel: %s = %v, must be non-negative and finite", c.name, c.v)
 		}
 	}
 	for k := range p.Kernels {

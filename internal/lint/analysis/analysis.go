@@ -1,0 +1,224 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API surface that wfsim's lint suite
+// needs. The build environment is fully offline (no module proxy, empty
+// module cache), so the real x/tools module cannot be added as a
+// dependency; this package reimplements the small subset we use —
+// Analyzer, Pass, and diagnostic reporting — with the same shape, so the
+// analyzers in internal/lint would port to the upstream framework with
+// only an import change.
+//
+// Two wfsim-specific conveniences live here because every analyzer needs
+// them:
+//
+//   - Line-level suppression: a comment of the form
+//
+//     //wfsimlint:allow rule1,rule2   -- or space-separated
+//
+//     placed at the end of the offending line, or alone on the line
+//     directly above it, suppresses diagnostics from the named rules on
+//     that line.
+//
+//   - File-level annotations: a comment line of the form
+//     "//wfsimlint:<name>" anywhere in a file's comments (conventionally
+//     immediately above the package clause or the file's first
+//     declaration) tags the whole file. The walltime analyzer uses
+//     "//wfsimlint:wallclock" to mark the real-time layer.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one lint rule: a named, documented static check.
+type Analyzer struct {
+	// Name identifies the rule; it is what //wfsimlint:allow matches
+	// against and what diagnostics are prefixed with.
+	Name string
+	// Doc is the human-oriented description printed by `wfsimlint help`.
+	Doc string
+	// Run applies the rule to one package and reports findings via
+	// pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, already resolved to a concrete position
+// and filtered through the suppression annotations.
+type Diagnostic struct {
+	// Position is the resolved file:line:column of the finding.
+	Position token.Position
+	// Rule is the reporting analyzer's name.
+	Rule string
+	// Message describes the finding and the expected fix.
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form
+// that editors and CI log scrapers understand.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Position, d.Rule, d.Message)
+}
+
+// A Pass holds one (analyzer, package) unit of work: the type-checked
+// syntax of a single package plus the reporting sink.
+type Pass struct {
+	// Analyzer is the rule being applied.
+	Analyzer *Analyzer
+	// Fset maps token positions for every file in the pass.
+	Fset *token.FileSet
+	// Files is the package's syntax, including in-package test files when
+	// the loader was asked for them.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo carries the type-checker's expression and identifier
+	// resolution maps.
+	TypesInfo *types.Info
+	// PkgPath is the import path the package was loaded under.
+	PkgPath string
+
+	// Diagnostics accumulates surviving (non-suppressed) findings.
+	Diagnostics []Diagnostic
+
+	// allow maps filename → line → rule names suppressed on that line.
+	allow map[string]map[int][]string
+	// seen dedupes findings: nested constructs (a map range inside a map
+	// range, a callback inside a goroutine) can rediscover the same site.
+	seen map[Diagnostic]bool
+}
+
+// NewPass assembles a Pass for one analyzer over one loaded package and
+// indexes its suppression comments.
+func NewPass(az *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, path string) *Pass {
+	p := &Pass{
+		Analyzer:  az,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		PkgPath:   path,
+		allow:     make(map[string]map[int][]string),
+		seen:      make(map[Diagnostic]bool),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rules, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				lines := p.allow[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					p.allow[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], rules...)
+			}
+		}
+	}
+	return p
+}
+
+// parseAllow recognizes "//wfsimlint:allow rule1,rule2" (comma- or
+// space-separated) and returns the named rules.
+func parseAllow(comment string) ([]string, bool) {
+	text := strings.TrimPrefix(comment, "//")
+	text = strings.TrimSpace(text)
+	const prefix = "wfsimlint:allow"
+	if !strings.HasPrefix(text, prefix) {
+		return nil, false
+	}
+	rest := strings.TrimSpace(text[len(prefix):])
+	if rest == "" {
+		return nil, false
+	}
+	fields := strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+	rules := fields[:0]
+	for _, f := range fields {
+		if f != "" {
+			rules = append(rules, f)
+		}
+	}
+	return rules, len(rules) > 0
+}
+
+// Reportf records a finding at pos unless a //wfsimlint:allow annotation
+// for this rule covers the line (trailing comment on the same line, or a
+// standalone comment on the line directly above).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(position) {
+		return
+	}
+	d := Diagnostic{
+		Position: position,
+		Rule:     p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	}
+	if p.seen[d] {
+		return
+	}
+	p.seen[d] = true
+	p.Diagnostics = append(p.Diagnostics, d)
+}
+
+func (p *Pass) suppressed(pos token.Position) bool {
+	lines := p.allow[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, rule := range lines[line] {
+			if rule == p.Analyzer.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether pos falls in a _test.go file. Rules that
+// police the production simulation layer (walltime, seedrand) skip test
+// files: tests legitimately sleep, time themselves, and live outside the
+// simulated world.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// FileHasAnnotation reports whether any comment line in f is exactly
+// "//wfsimlint:<name>" (a file-level tag, e.g. "wallclock").
+func FileHasAnnotation(f *ast.File, name string) bool {
+	want := "wfsimlint:" + name
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == want {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SortDiagnostics orders findings by file, line, column, then rule, so
+// multichecker output is deterministic regardless of analyzer or package
+// scheduling.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Rule < b.Rule
+	})
+}

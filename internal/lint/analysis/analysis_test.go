@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		comment string
+		rules   []string
+	}{
+		{"//wfsimlint:allow maporder", []string{"maporder"}},
+		{"// wfsimlint:allow maporder, walltime", []string{"maporder", "walltime"}},
+		{"//wfsimlint:allow maporder,floatreduce", []string{"maporder", "floatreduce"}},
+		{"//wfsimlint:allow", nil},
+		{"//wfsimlint:wallclock", nil},
+		{"// plain comment", nil},
+	}
+	for _, c := range cases {
+		rules, ok := parseAllow(c.comment)
+		if (len(c.rules) > 0) != ok || len(rules) != len(c.rules) {
+			t.Errorf("parseAllow(%q) = %v, %v; want %v", c.comment, rules, ok, c.rules)
+			continue
+		}
+		for i := range rules {
+			if rules[i] != c.rules[i] {
+				t.Errorf("parseAllow(%q) = %v, want %v", c.comment, rules, c.rules)
+				break
+			}
+		}
+	}
+}
+
+const suppressionSrc = `package p
+
+func f() {
+	_ = 1 //wfsimlint:allow demo
+	//wfsimlint:allow demo
+	_ = 2
+	//wfsimlint:allow other
+	_ = 3
+	_ = 4
+}
+`
+
+// TestSuppression covers both annotation placements — trailing the
+// flagged line and standalone on the line above — plus the cases that
+// must NOT suppress: a different rule's annotation and no annotation.
+func TestSuppression(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressionSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	az := &Analyzer{Name: "demo"}
+	pass := NewPass(az, fset, []*ast.File{f}, nil, nil, "p")
+
+	stmts := f.Decls[0].(*ast.FuncDecl).Body.List
+	if len(stmts) != 4 {
+		t.Fatalf("got %d statements, want 4", len(stmts))
+	}
+	for i, s := range stmts {
+		pass.Reportf(s.Pos(), "finding %d", i)
+	}
+
+	// Statements 0 and 1 are suppressed; 2 (wrong rule) and 3 (no
+	// annotation) must survive.
+	if len(pass.Diagnostics) != 2 {
+		t.Fatalf("got %d diagnostics %v, want 2", len(pass.Diagnostics), pass.Diagnostics)
+	}
+	if pass.Diagnostics[0].Message != "finding 2" || pass.Diagnostics[1].Message != "finding 3" {
+		t.Errorf("wrong findings survived: %v", pass.Diagnostics)
+	}
+}
+
+const annotatedSrc = `// Doc comment.
+//
+//wfsimlint:wallclock
+package p
+`
+
+func TestFileHasAnnotation(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", annotatedSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !FileHasAnnotation(f, "wallclock") {
+		t.Error("wallclock annotation not detected")
+	}
+	if FileHasAnnotation(f, "other") {
+		t.Error("phantom annotation detected")
+	}
+}
+
+func TestReportfDedupes(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", "package p\nvar x int\n", parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := NewPass(&Analyzer{Name: "demo"}, fset, []*ast.File{f}, nil, nil, "p")
+	pos := f.Decls[0].Pos()
+	pass.Reportf(pos, "same finding")
+	pass.Reportf(pos, "same finding")
+	pass.Reportf(pos, "different finding")
+	if len(pass.Diagnostics) != 2 {
+		t.Errorf("got %d diagnostics, want 2 (duplicate collapsed)", len(pass.Diagnostics))
+	}
+}

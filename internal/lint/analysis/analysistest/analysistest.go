@@ -1,0 +1,166 @@
+// Package analysistest runs a lint analyzer over fixture packages and
+// checks its diagnostics against // want comments in the fixture source —
+// a minimal offline reimplementation of
+// golang.org/x/tools/go/analysis/analysistest (see internal/lint/analysis
+// for why the upstream module cannot be used).
+//
+// Expectation syntax: a comment on the line the diagnostic is expected
+// at, holding one quoted regular expression per expected diagnostic:
+//
+//	for k := range m { // want `appends to "out"`
+//	rand.IntN(8)       // want "process-global generator"
+//
+// Lines without a want comment must produce no diagnostics, so fixture
+// files double as negative tests — including the annotation-suppressed
+// sites, which carry //wfsimlint:allow and no want.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"wfsim/internal/lint/analysis"
+	"wfsim/internal/lint/load"
+)
+
+// Run loads testdata/src/<fixture> for each fixture as a single package,
+// applies the analyzer, and reports any mismatch between produced
+// diagnostics and // want expectations as test errors.
+func Run(t *testing.T, testdata string, az *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	loader := load.NewFixture()
+	for _, fixture := range fixtures {
+		dir := filepath.Join(testdata, "src", fixture)
+		pkg, err := loader.LoadFixture(dir, fixture)
+		if err != nil {
+			t.Errorf("%s: %v", fixture, err)
+			continue
+		}
+		pass := analysis.NewPass(az, loader.Fset, pkg.Files, pkg.Types, pkg.Info, pkg.Path)
+		if err := az.Run(pass); err != nil {
+			t.Errorf("%s: analyzer %s: %v", fixture, az.Name, err)
+			continue
+		}
+		check(t, fixture, loader.Fset, pkg, pass.Diagnostics)
+	}
+}
+
+// key locates a source line.
+type key struct {
+	file string
+	line int
+}
+
+func check(t *testing.T, fixture string, fset *token.FileSet, pkg *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, ok := parseWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				k := key{pos.Filename, pos.Line}
+				for _, p := range patterns {
+					rx, err := regexp.Compile(p)
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+						continue
+					}
+					wants[k] = append(wants[k], rx)
+				}
+			}
+		}
+	}
+
+	matched := make(map[*regexp.Regexp]bool)
+	for _, d := range diags {
+		k := key{d.Position.Filename, d.Position.Line}
+		found := false
+		for _, rx := range wants[k] {
+			if !matched[rx] && rx.MatchString(d.Message) {
+				matched[rx] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic %s", fixture, d)
+		}
+	}
+	// Report unmatched expectations in source order, not map order.
+	keys := make([]key, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, rx := range wants[k] {
+			if !matched[rx] {
+				t.Errorf("%s: %s:%d: no diagnostic matching %q", fixture, k.file, k.line, rx)
+			}
+		}
+	}
+}
+
+// parseWant extracts the regexps from a want comment; each pattern is
+// double-quoted (Go string syntax) or backquoted.
+func parseWant(comment string) ([]string, bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return nil, false
+	}
+	var patterns []string
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		switch rest[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, false
+			}
+			unq, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return nil, false
+			}
+			patterns = append(patterns, unq)
+			rest = strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, false
+			}
+			patterns = append(patterns, rest[1:end+1])
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			return nil, false
+		}
+	}
+	if len(patterns) == 0 {
+		return nil, false
+	}
+	return patterns, true
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"wfsim/internal/lint/analysis"
+)
+
+// FloatReduce flags floating-point reductions whose summation order is
+// not fixed by program text. Float addition is non-associative:
+// (a+b)+c != a+(b+c) in general, so the same multiset of addends reduced
+// in two different orders produces different bits — and wfsim promises
+// byte-identical traces and tables across runs and across `-j N`
+// parallelism. Two shapes are flagged:
+//
+//   - accumulation inside a map-range loop (`for _, v := range m
+//     { sum += v }`): the addend order is Go's randomized map order;
+//
+//   - accumulation into a captured variable from inside a goroutine or a
+//     callback function literal (`go func() { …; sum += x }()`): the
+//     addend order is goroutine completion / callback invocation order.
+//
+// The fix is the same in both cases: accumulate per-key or per-worker
+// into indexed storage, then reduce in a deterministic index order — the
+// pattern internal/runner uses (results are combined in submission
+// order, never completion order). A callback that is provably invoked in
+// deterministic order can be annotated //wfsimlint:allow floatreduce.
+var FloatReduce = &analysis.Analyzer{
+	Name: "floatreduce",
+	Doc:  "flags float accumulation in map order or goroutine/callback completion order",
+	Run:  runFloatReduce,
+}
+
+func runFloatReduce(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if isMapRange(pass.TypesInfo, n) {
+					checkMapAccum(pass, n)
+				}
+			case *ast.GoStmt:
+				if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkCapturedAccum(pass, fl, "goroutine completion order")
+				}
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					if fl, ok := arg.(*ast.FuncLit); ok {
+						checkCapturedAccum(pass, fl, "callback invocation order")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapAccum reports float/string accumulation into loop-surviving
+// variables inside a map-range body.
+func checkMapAccum(pass *analysis.Pass, rs *ast.RangeStmt) {
+	info := pass.TypesInfo
+	loopVars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := objOf(info, id); obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		id := accumTarget(info, as)
+		if id == nil || !isFloat(info.TypeOf(as.Lhs[0])) {
+			return true
+		}
+		// `out[k] += v` with k the loop key is per-key sharding: every
+		// iteration owns its slot, so order is invisible in the result.
+		if indexedByLoopVar(info, as.Lhs[0], loopVars) {
+			return true
+		}
+		if obj := objOf(info, id); declaredBefore(obj, rs.Pos()) && !loopVars[obj] {
+			pass.Reportf(as.Pos(), "float accumulation into %q in map iteration order: addition is non-associative, so the result's bits differ run to run; reduce over sorted keys instead", id.Name)
+		}
+		return true
+	})
+}
+
+// checkCapturedAccum reports float accumulation into variables captured
+// from outside the function literal — the order such a literal runs in
+// (relative to its siblings) is scheduler-determined.
+func checkCapturedAccum(pass *analysis.Pass, fl *ast.FuncLit, orderKind string) {
+	info := pass.TypesInfo
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		id := accumTarget(info, as)
+		if id == nil || !isFloat(info.TypeOf(as.Lhs[0])) {
+			return true
+		}
+		// Indexed accumulation (`partial[i] += x`) is the sharded
+		// per-worker pattern this rule recommends; slot collisions are a
+		// data race the -race CI step catches, not a lint matter.
+		if _, indexed := as.Lhs[0].(*ast.IndexExpr); indexed {
+			return true
+		}
+		if obj := objOf(info, id); declaredBefore(obj, fl.Pos()) {
+			pass.Reportf(as.Pos(), "float accumulation into captured %q: %s decides the addend order, so the result's bits differ run to run; accumulate per-worker and reduce in index order", id.Name, orderKind)
+		}
+		return true
+	})
+}

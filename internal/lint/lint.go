@@ -1,0 +1,91 @@
+// Package lint is wfsim's determinism lint suite: custom static
+// analyzers that turn the project's reproducibility rules — byte-identical
+// renders and traces across runs and across -j N parallelism — into
+// compile-time-checkable facts. The analyzers mirror the
+// golang.org/x/tools/go/analysis style (see internal/lint/analysis for
+// why the framework is vendored as a minimal reimplementation) and are
+// driven by the cmd/wfsimlint multichecker.
+//
+// Rules:
+//
+//	maporder     map iteration with order-sensitive effects
+//	walltime     wall-clock time outside the annotated real-time layer
+//	seedrand     global math/rand state or entropy-seeded generators
+//	floatreduce  float reduction in map/goroutine/callback order
+//
+// Suppression: `//wfsimlint:allow <rule>[,<rule>...]` on or directly
+// above the flagged line; `//wfsimlint:wallclock` tags a whole file as
+// part of the real-time layer (walltime only). DESIGN.md's "Determinism
+// invariants" section documents each rule's rationale.
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+
+	"wfsim/internal/lint/analysis"
+	"wfsim/internal/lint/load"
+)
+
+// Analyzers is the full suite, in name order.
+var Analyzers = []*analysis.Analyzer{FloatReduce, MapOrder, SeedRand, WallTime}
+
+// Run loads the module rooted at (or above) dir and applies the analyzers
+// to every package whose directory matches one of the patterns
+// ("./..."-style, relative to the module root; empty means everything).
+// Diagnostics come back in deterministic file/line order.
+func Run(dir string, analyzers []*analysis.Analyzer, includeTests bool, patterns []string) ([]analysis.Diagnostic, error) {
+	loader, err := load.New(dir)
+	if err != nil {
+		return nil, err
+	}
+	loader.IncludeTests = includeTests
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		if !matchesAny(loader.ModRoot, pkg.Dir, patterns) {
+			continue
+		}
+		for _, az := range analyzers {
+			pass := analysis.NewPass(az, loader.Fset, pkg.Files, pkg.Types, pkg.Info, pkg.Path)
+			if err := az.Run(pass); err != nil {
+				return nil, err
+			}
+			diags = append(diags, pass.Diagnostics...)
+		}
+	}
+	analysis.SortDiagnostics(diags)
+	return diags, nil
+}
+
+// matchesAny reports whether dir (a package directory) is selected by the
+// patterns: "./..." selects everything, "./x/..." selects x and its
+// subtree, "./x" selects exactly x. No patterns selects everything.
+func matchesAny(root, dir string, patterns []string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return false
+	}
+	rel = filepath.ToSlash(rel)
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+		if sub, ok := strings.CutSuffix(pat, "..."); ok {
+			sub = strings.TrimSuffix(sub, "/")
+			if sub == "" || sub == "." || rel == sub || strings.HasPrefix(rel, sub+"/") {
+				return true
+			}
+			continue
+		}
+		if rel == pat || (pat == "." && rel == ".") {
+			return true
+		}
+	}
+	return false
+}

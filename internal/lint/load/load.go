@@ -1,0 +1,323 @@
+// Package load type-checks wfsim packages for the lint suite without any
+// dependency outside the standard library. The environment that builds
+// this repo is offline (no module proxy), so golang.org/x/tools/go/packages
+// is not available; instead we combine:
+//
+//   - the compiler-independent source importer (go/importer "source") for
+//     standard-library imports, which type-checks GOROOT packages from
+//     source and needs no pre-built export data; and
+//
+//   - a recursive module importer that resolves "wfsim/..." import paths
+//     against the repository root and type-checks those directories from
+//     source with the same machinery.
+//
+// The result is a []*Package close enough to go/packages' output for the
+// analyzers in internal/lint: file syntax with comments, a *types.Package,
+// and a fully populated *types.Info.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one type-checked unit to be linted.
+type Package struct {
+	// Path is the import path the package was loaded under. External test
+	// packages load as "<path>_test".
+	Path string
+	// Dir is the directory holding the package's files.
+	Dir string
+	// Files is the parsed syntax, with comments, in filename order.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info is the type-checker's resolution maps for Files.
+	Info *types.Info
+}
+
+// A Loader resolves and type-checks packages of a single module plus its
+// standard-library dependency closure. It is not safe for concurrent use.
+type Loader struct {
+	// Fset is shared by every file the loader touches.
+	Fset *token.FileSet
+	// ModRoot is the absolute module root directory (where go.mod lives);
+	// empty for fixture loaders.
+	ModRoot string
+	// ModPath is the module path from go.mod ("wfsim"); empty for fixture
+	// loaders.
+	ModPath string
+	// IncludeTests adds in-package _test.go files to each loaded target
+	// package and loads external _test packages alongside them.
+	IncludeTests bool
+
+	ctxt  build.Context
+	std   types.ImporterFrom
+	cache map[string]*types.Package
+}
+
+// New returns a loader rooted at the module containing dir (dir itself or
+// an ancestor must hold go.mod).
+func New(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("load: no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := newBare()
+	l.ModRoot, l.ModPath = root, modPath
+	return l, nil
+}
+
+// NewFixture returns a loader for self-contained fixture packages: every
+// import must resolve within the standard library.
+func NewFixture() *Loader { return newBare() }
+
+func newBare() *Loader {
+	fset := token.NewFileSet()
+	// The source importer snapshots go/build.Default at construction.
+	// Disabling cgo first keeps the whole standard library type-checkable
+	// from source with no C toolchain: every package we care about has
+	// pure-Go variants under CgoEnabled=false.
+	build.Default.CgoEnabled = false
+	ctxt := build.Default
+	return &Loader{
+		Fset:  fset,
+		ctxt:  ctxt,
+		std:   importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		cache: make(map[string]*types.Package),
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("load: no module line in %s", gomod)
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths resolve
+// against ModRoot, everything else is delegated to the standard-library
+// source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.ModPath != "" && (path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/")) {
+		return l.importModule(path)
+	}
+	return l.std.ImportFrom(path, dir, 0)
+}
+
+// importModule type-checks (and caches) a module-internal package from its
+// non-test sources, recursing through this same importer.
+func (l *Loader) importModule(path string) (*types.Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.ModRoot, filepath.FromSlash(strings.TrimPrefix(path, l.ModPath)))
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("load: import %q: %w", path, err)
+	}
+	files, err := l.parse(dir, bp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	pkg, _, err := l.check(path, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) parse(dir string, names []string) ([]*ast.File, error) {
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check runs the type checker over files under the given import path. The
+// returned Info is populated only when wantInfo is non-nil (targets being
+// linted need it; imported dependencies do not).
+func (l *Loader) check(path string, files []*ast.File, info *types.Info) (*types.Package, *types.Info, error) {
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("load: typecheck %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// LoadFixture loads every .go file in dir as one package under the given
+// import path. Used by the analysistest harness: fixture packages are
+// single-directory and import only the standard library.
+func (l *Loader) LoadFixture(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	files, err := l.parse(dir, names)
+	if err != nil {
+		return nil, err
+	}
+	pkg, info, err := l.check(path, files, newInfo())
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Types: pkg, Info: info}, nil
+}
+
+// LoadAll walks the module tree and type-checks every package in it, in
+// deterministic path order. With IncludeTests set, in-package test files
+// are checked together with their package and external test packages are
+// returned as separate "<path>_test" entries.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	if l.ModRoot == "" {
+		return nil, fmt.Errorf("load: LoadAll requires a module-rooted loader")
+	}
+	var dirs []string
+	err := filepath.WalkDir(l.ModRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		loaded, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+	return pkgs, nil
+}
+
+// loadDir loads the package rooted at dir (if any): the main package —
+// with in-package test files when IncludeTests is set — plus an external
+// test package when one exists.
+func (l *Loader) loadDir(dir string) ([]*Package, error) {
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("load: %s: %w", dir, err)
+	}
+	rel, err := filepath.Rel(l.ModRoot, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := l.ModPath
+	if rel != "." {
+		path = l.ModPath + "/" + filepath.ToSlash(rel)
+	}
+
+	var pkgs []*Package
+	names := append([]string(nil), bp.GoFiles...)
+	if l.IncludeTests {
+		names = append(names, bp.TestGoFiles...)
+	}
+	if len(names) > 0 {
+		files, err := l.parse(dir, names)
+		if err != nil {
+			return nil, err
+		}
+		pkg, info, err := l.check(path, files, newInfo())
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{Path: path, Dir: dir, Files: files, Types: pkg, Info: info})
+	}
+	if l.IncludeTests && len(bp.XTestGoFiles) > 0 {
+		files, err := l.parse(dir, bp.XTestGoFiles)
+		if err != nil {
+			return nil, err
+		}
+		xpath := path + "_test"
+		pkg, info, err := l.check(xpath, files, newInfo())
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{Path: xpath, Dir: dir, Files: files, Types: pkg, Info: info})
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"wfsim/internal/lint/analysis"
+)
+
+// MapOrder flags `for … range` over a map whose body has order-sensitive
+// effects. Go randomizes map iteration order per iteration, so any such
+// loop makes rendered output, simulation traces, or accumulated floats
+// differ from run to run — exactly the nondeterminism wfsim's
+// reproducibility guarantee forbids.
+//
+// Effects considered order-sensitive:
+//
+//   - append to a slice declared outside the loop (element order follows
+//     map order);
+//   - writes to an io.Writer / strings.Builder / bytes.Buffer declared
+//     outside the loop, and fmt.Print/Fprint calls (byte order follows
+//     map order);
+//   - scheduling simulation events (Engine.Schedule/Reschedule/Go): the
+//     engine's FIFO tie-break among same-instant events is seeded by
+//     scheduling order;
+//   - channel sends (delivery order follows map order);
+//   - float/complex accumulation and string concatenation into a
+//     variable declared outside the loop (result bits follow map order);
+//   - returning a non-constant value from inside the loop (which of
+//     several candidate values is returned follows map order).
+//
+// The sorted-keys idiom is recognized and not flagged: a loop that only
+// collects keys (or key-derived values) into a slice which a following
+// statement sorts — `for k := range m { keys = append(keys, k) };
+// sort.Strings(keys)` — is the canonical fix, not a violation. Loops
+// whose effects are genuinely order-free can be annotated with
+// `//wfsimlint:allow maporder` on (or directly above) the `for` line.
+var MapOrder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flags map iteration whose effects depend on Go's randomized map order",
+	Run:  runMapOrder,
+}
+
+// writeMethods are method names that emit bytes into a stream the loop
+// did not create: calling them in map order serializes map order into
+// the output.
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Printf": true, "Print": true, "Println": true, "Encode": true,
+}
+
+// schedMethods are the sim-engine entry points that enqueue events; the
+// engine breaks same-instant ties by scheduling sequence number, so
+// calling them in map order makes the whole downstream trace
+// order-dependent.
+var schedMethods = map[string]bool{
+	"Schedule": true, "Reschedule": true, "Go": true,
+}
+
+func runMapOrder(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		forEachStmtList(f, func(list []ast.Stmt) {
+			for i, stmt := range list {
+				rs, ok := unwrapLabeled(stmt).(*ast.RangeStmt)
+				if !ok || !isMapRange(pass.TypesInfo, rs) {
+					continue
+				}
+				checkMapRange(pass, rs, list[i+1:])
+			}
+		})
+	}
+	return nil
+}
+
+func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	t := info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// effect is one order-sensitive action found in a map-range body.
+type effect struct {
+	pos  token.Pos
+	desc string
+	// appendTo is set for append effects: the slice being grown.
+	appendTo types.Object
+	// sortable marks append effects whose appended values derive only
+	// from the loop variables — the collect-then-sort idiom's first half.
+	sortable bool
+}
+
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	info := pass.TypesInfo
+	loopVars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := objOf(info, id); obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+
+	var effects []effect
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if e, ok := appendEffect(info, n, rs, loopVars); ok {
+				effects = append(effects, e)
+				return true
+			}
+			if path, name, ok := pkgFunc(info, n); ok && path == "fmt" &&
+				(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+				effects = append(effects, effect{pos: n.Pos(), desc: "writes output via fmt." + name})
+				return true
+			}
+			if e, ok := methodEffect(info, n, rs); ok {
+				effects = append(effects, e)
+			}
+		case *ast.SendStmt:
+			effects = append(effects, effect{pos: n.Pos(), desc: "sends on a channel"})
+		case *ast.AssignStmt:
+			if id := accumTarget(info, n); id != nil && !indexedByLoopVar(info, n.Lhs[0], loopVars) {
+				if obj := objOf(info, id); declaredBefore(obj, rs.Pos()) && !loopVars[obj] {
+					effects = append(effects, effect{pos: n.Pos(), desc: fmt.Sprintf("accumulates into %q (float/string reduction order is visible in the result)", id.Name)})
+				}
+			}
+		case *ast.ReturnStmt:
+			if returnsNonConstant(n) {
+				effects = append(effects, effect{pos: n.Pos(), desc: "returns a non-constant value (which iteration returns first depends on map order)"})
+			}
+		}
+		return true
+	})
+	if len(effects) == 0 {
+		return
+	}
+
+	// Recognize the sorted-keys idiom: every effect is a loop-var-only
+	// append, and each appended-to slice is sorted by a following
+	// statement before anything else can observe it.
+	idiom := true
+	for _, e := range effects {
+		if e.appendTo == nil || !e.sortable || !sortedAfter(info, rest, e.appendTo) {
+			idiom = false
+			break
+		}
+	}
+	if idiom {
+		return
+	}
+
+	descs := make([]string, 0, len(effects))
+	seen := make(map[string]bool)
+	for _, e := range effects {
+		if !seen[e.desc] {
+			seen[e.desc] = true
+			descs = append(descs, e.desc)
+		}
+	}
+	pass.Reportf(rs.Pos(), "map iteration order is randomized, but this loop %s; iterate a sorted key slice instead (or annotate //wfsimlint:allow maporder if the effect is genuinely order-free)",
+		strings.Join(descs, "; "))
+}
+
+// appendEffect matches `s = append(s, …)` growing a slice that outlives
+// the loop.
+func appendEffect(info *types.Info, call *ast.CallExpr, rs *ast.RangeStmt, loopVars map[types.Object]bool) (effect, bool) {
+	if !isBuiltin(info, call, "append") || len(call.Args) == 0 {
+		return effect{}, false
+	}
+	target := rootIdent(call.Args[0])
+	if target == nil {
+		return effect{}, false
+	}
+	obj := objOf(info, target)
+	if !declaredBefore(obj, rs.Pos()) {
+		return effect{}, false
+	}
+	sortable := true
+	for _, arg := range call.Args[1:] {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				// Struct-field identifiers — composite-literal keys and
+				// selector fields like sp.start — name components of the
+				// loop variables, not independent data sources.
+				if v, isVar := objOf(info, id).(*types.Var); isVar && !v.IsField() && !loopVars[v] {
+					sortable = false
+				}
+			}
+			return true
+		})
+	}
+	return effect{
+		pos:      call.Pos(),
+		desc:     fmt.Sprintf("appends to %q (element order follows map order)", target.Name),
+		appendTo: obj,
+		sortable: sortable,
+	}, true
+}
+
+// methodEffect matches stream-writing and event-scheduling method calls
+// on receivers that outlive the loop.
+func methodEffect(info *types.Info, call *ast.CallExpr, rs *ast.RangeStmt) (effect, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || info.Selections[sel] == nil {
+		return effect{}, false
+	}
+	name := sel.Sel.Name
+	isWrite, isSched := writeMethods[name], schedMethods[name]
+	if !isWrite && !isSched {
+		return effect{}, false
+	}
+	recv := rootIdent(sel.X)
+	if recv == nil || !declaredBefore(objOf(info, recv), rs.Pos()) {
+		return effect{}, false
+	}
+	if isSched {
+		return effect{pos: call.Pos(), desc: fmt.Sprintf("schedules events via %s.%s (event tie-break order follows scheduling order)", recv.Name, name)}, true
+	}
+	return effect{pos: call.Pos(), desc: fmt.Sprintf("writes to %q via %s (byte order follows map order)", recv.Name, name)}, true
+}
+
+// returnsNonConstant reports whether the return statement yields anything
+// beyond literals and nil/true/false — i.e. whether *which* iteration
+// reaches it first is observable in the function's result.
+func returnsNonConstant(ret *ast.ReturnStmt) bool {
+	for _, res := range ret.Results {
+		switch r := res.(type) {
+		case *ast.BasicLit:
+		case *ast.Ident:
+			if r.Name != "nil" && r.Name != "true" && r.Name != "false" {
+				return true
+			}
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether a statement following the loop passes the
+// collected slice to a sort/slices call — the second half of the
+// collect-then-sort idiom.
+func sortedAfter(info *types.Info, rest []ast.Stmt, target types.Object) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, _, ok := pkgFunc(info, call)
+			if !ok || (path != "sort" && path != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && objOf(info, id) == target {
+						found = true
+					}
+					return true
+				})
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

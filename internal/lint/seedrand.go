@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"wfsim/internal/lint/analysis"
+)
+
+// SeedRand enforces wfsim's randomness discipline: all randomness flows
+// through an explicitly seeded *rand.Rand constructed from a seed that
+// arrived via configuration. Two failure modes are flagged:
+//
+//   - calls to math/rand (or math/rand/v2) package-level functions —
+//     rand.IntN, rand.Float64, rand.Shuffle, ... — which draw from the
+//     process-global, OS-entropy-seeded generator and are different on
+//     every run;
+//
+//   - rand.New / rand.NewSource / rand.NewPCG / rand.NewChaCha8 whose
+//     seed expression involves the host clock (time.Now), crypto/rand
+//     entropy, or the process identity (os.Getpid) — an explicitly
+//     constructed generator that is still unreproducible.
+//
+// Constructor calls seeded from ordinary values (config fields,
+// constants, derived counters) are the approved pattern and pass clean.
+// Test files are exempt; a deliberate exception can be annotated
+// //wfsimlint:allow seedrand.
+var SeedRand = &analysis.Analyzer{
+	Name: "seedrand",
+	Doc:  "forbids global math/rand state and wall-clock/entropy-seeded generators",
+	Run:  runSeedRand,
+}
+
+// randCtors are the constructors of explicit generators — the approved
+// entry points (their seeds are checked separately).
+var randCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
+	"NewZipf": true,
+}
+
+func isRandPath(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func runSeedRand(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				path, ok := pkgPathOf(info, n.X)
+				if !ok || !isRandPath(path) {
+					return true
+				}
+				fn, ok := info.Uses[n.Sel].(*types.Func)
+				if !ok || fn.Type().(*types.Signature).Recv() != nil {
+					return true // types, constants, methods on *rand.Rand
+				}
+				if !randCtors[n.Sel.Name] {
+					pass.Reportf(n.Pos(), "rand.%s uses the process-global generator, which is seeded from OS entropy; thread an explicitly seeded *rand.Rand from config instead", n.Sel.Name)
+				}
+			case *ast.CallExpr:
+				path, name, ok := pkgFunc(info, n)
+				if !ok || !isRandPath(path) || !randCtors[name] {
+					return true
+				}
+				if culprit := nondeterministicSeed(info, n); culprit != "" {
+					pass.Reportf(n.Pos(), "rand.%s is seeded from %s, so the generator differs on every run; seeds must be constants or flow in from config", name, culprit)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nondeterministicSeed scans a generator-constructor call's arguments for
+// run-varying seed material and names the first culprit found.
+func nondeterministicSeed(info *types.Info, call *ast.CallExpr) string {
+	culprit := ""
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if culprit != "" {
+				return false
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, ok := pkgPathOf(info, sel.X)
+			if !ok {
+				return true
+			}
+			switch {
+			case path == "time":
+				culprit = "the wall clock (time." + sel.Sel.Name + ")"
+			case path == "crypto/rand":
+				culprit = "crypto/rand entropy"
+			case path == "os" && sel.Sel.Name == "Getpid":
+				culprit = "the process ID (os.Getpid)"
+			}
+			return culprit == ""
+		})
+		if culprit != "" {
+			return culprit
+		}
+	}
+	return ""
+}

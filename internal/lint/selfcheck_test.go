@@ -1,0 +1,30 @@
+package lint_test
+
+import (
+	"os"
+	"testing"
+
+	"wfsim/internal/lint"
+)
+
+// TestRepoClean is the integration gate: the full analyzer suite must
+// exit clean on the real repository, test files included — the same
+// invariant CI's `go run ./cmd/wfsimlint ./...` step enforces. It
+// type-checks the whole module (plus its standard-library closure) from
+// source, so it is skipped under -short.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped under -short")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(wd, lint.Analyzers, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

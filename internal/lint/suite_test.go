@@ -1,0 +1,23 @@
+package lint
+
+import (
+	"testing"
+
+	"wfsim/internal/lint/analysis/analysistest"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", MapOrder, "maporder")
+}
+
+func TestWallTime(t *testing.T) {
+	analysistest.Run(t, "testdata", WallTime, "walltime")
+}
+
+func TestSeedRand(t *testing.T) {
+	analysistest.Run(t, "testdata", SeedRand, "seedrand")
+}
+
+func TestFloatReduce(t *testing.T) {
+	analysistest.Run(t, "testdata", FloatReduce, "floatreduce")
+}

@@ -1,0 +1,123 @@
+// Package floatreduce is the fixture for the floatreduce analyzer:
+// float accumulation in map order or goroutine/callback completion order
+// is flagged; sorted-key reduction, per-worker sharding, and integer
+// reduction pass clean; //wfsimlint:allow suppresses a deliberate
+// exception.
+package floatreduce
+
+import (
+	"sort"
+	"sync"
+)
+
+// mapSum is flagged: the addend order is Go's randomized map order, and
+// float addition is non-associative.
+func mapSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into "sum" in map iteration order`
+	}
+	return sum
+}
+
+// sortedSum is clean: reduction order is fixed by program text.
+func sortedSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// groupSum is flagged: the bucket expression is not the loop key, so
+// several iterations can hit one bucket in map order.
+func groupSum(m map[string]float64, group func(string) string) map[string]float64 {
+	out := make(map[string]float64)
+	for k, v := range m {
+		out[group(k)] += v // want `float accumulation into "out" in map iteration order`
+	}
+	return out
+}
+
+// perKey is clean: every iteration owns its slot.
+func perKey(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] += v
+	}
+	return out
+}
+
+// parallelSum is flagged: goroutine completion order decides the addend
+// order even though the accumulation is mutex-protected.
+func parallelSum(xs []float64) float64 {
+	var (
+		mu  sync.Mutex
+		sum float64
+		wg  sync.WaitGroup
+	)
+	for _, x := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			sum += x // want `float accumulation into captured "sum": goroutine completion order`
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return sum
+}
+
+// shardedSum is clean: per-worker shards reduced in index order — the
+// fix this rule recommends.
+func shardedSum(xs []float64) float64 {
+	partial := make([]float64, len(xs))
+	var wg sync.WaitGroup
+	for i, x := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			partial[i] += x
+		}()
+	}
+	wg.Wait()
+	var sum float64
+	for _, p := range partial {
+		sum += p
+	}
+	return sum
+}
+
+// walkSum is flagged: the callee decides the callback invocation order.
+func walkSum(walk func(func(float64))) float64 {
+	var sum float64
+	walk(func(v float64) {
+		sum += v // want `float accumulation into captured "sum": callback invocation order`
+	})
+	return sum
+}
+
+// orderedWalkSum is the annotation-suppressed site: the callee documents
+// deterministic in-order invocation.
+func orderedWalkSum(each func(func(float64))) float64 {
+	var sum float64
+	each(func(v float64) {
+		sum += v //wfsimlint:allow floatreduce
+	})
+	return sum
+}
+
+// mapCount is clean: integer reduction is exact in any order.
+func mapCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

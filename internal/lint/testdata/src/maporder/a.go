@@ -1,0 +1,128 @@
+// Package maporder is the fixture for the maporder analyzer: map-range
+// loops with order-sensitive effects are flagged, the collect-then-sort
+// idiom and order-free bodies pass clean, and //wfsimlint:allow maporder
+// suppresses a deliberate exception.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// appendNoSort is flagged: element order follows map order and nothing
+// re-establishes a deterministic order afterwards.
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `appends to "out"`
+		out = append(out, strings.ToUpper(k))
+	}
+	return out
+}
+
+// sortedKeys is clean: the canonical collect-then-sort idiom.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+type pair struct {
+	key string
+	val float64
+}
+
+// sortedPairs is clean: collecting structs built from the loop variables
+// is still the idiom as long as a following sort fixes the order.
+func sortedPairs(m map[string]float64) []pair {
+	out := make([]pair, 0, len(m))
+	for k, v := range m {
+		out = append(out, pair{key: k, val: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// printOrder is flagged: bytes reach the output in map order.
+func printOrder(m map[string]int) {
+	for k, v := range m { // want `writes output via fmt.Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// buildOrder is flagged: builder writes serialize map order.
+func buildOrder(m map[int]string) string {
+	var b strings.Builder
+	for _, v := range m { // want `writes to "b" via WriteString`
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
+// sendOrder is flagged: channel delivery order follows map order.
+func sendOrder(m map[int]int, ch chan<- int) {
+	for _, v := range m { // want `sends on a channel`
+		ch <- v
+	}
+}
+
+// sumOrder is flagged: float addition is non-associative, so the sum's
+// bits follow map order.
+func sumOrder(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `accumulates into "sum"`
+		sum += v
+	}
+	return sum
+}
+
+// firstError is flagged: which key's error is returned depends on map
+// order.
+func firstError(m map[string]int) error {
+	for k, v := range m { // want `returns a non-constant value`
+		if v < 0 {
+			return fmt.Errorf("bad %s", k)
+		}
+	}
+	return nil
+}
+
+// count is clean: integer addition is exact and commutative.
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// regroup is clean: per-key sharding — every iteration owns its slot, so
+// iteration order is invisible in the result.
+func regroup(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] += v
+	}
+	return out
+}
+
+type registry map[string]func() int
+
+// callAll is flagged: named map types are still maps.
+func callAll(r registry, sink chan<- int) {
+	for _, f := range r { // want `sends on a channel`
+		sink <- f()
+	}
+}
+
+// debugDump is the annotation-suppressed site: byte order is accepted
+// here, and the annotation on the line above the loop waves it through.
+func debugDump(m map[string]int) {
+	//wfsimlint:allow maporder
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

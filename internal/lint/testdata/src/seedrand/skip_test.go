@@ -1,0 +1,8 @@
+package seedrand
+
+import "math/rand/v2"
+
+// testPick is clean: _test.go files are exempt from seedrand.
+func testPick() int {
+	return rand.IntN(4)
+}

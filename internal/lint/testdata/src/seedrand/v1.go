@@ -1,0 +1,22 @@
+package seedrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// legacy is flagged twice: the classic pre-v2 antipattern —
+// rand.New(rand.NewSource(time.Now().UnixNano())).
+func legacy() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand.New is seeded from the wall clock` `rand.NewSource is seeded from the wall clock`
+}
+
+// legacyPick is flagged: legacy global helpers are global state too.
+func legacyPick() int {
+	return rand.Intn(10) // want `rand.Intn uses the process-global generator`
+}
+
+// legacySeeded is clean: explicit legacy generator with a threaded seed.
+func legacySeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

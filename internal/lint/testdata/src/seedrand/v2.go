@@ -1,0 +1,50 @@
+// Package seedrand is the fixture for the seedrand analyzer: global
+// math/rand state and run-varying seeds are flagged, explicitly seeded
+// generators pass clean, test files are exempt, and //wfsimlint:allow
+// suppresses a deliberate exception.
+package seedrand
+
+import (
+	"math/rand/v2"
+	"os"
+	"time"
+)
+
+// pick is flagged: the package-level functions draw from the
+// process-global, entropy-seeded generator.
+func pick(n int) int {
+	return rand.IntN(n) // want `rand.IntN uses the process-global generator`
+}
+
+// mix is flagged: shuffling with global state.
+func mix(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle uses the process-global generator`
+}
+
+// seeded is clean: an explicit generator seeded from a value that flowed
+// in — wfsim's approved pattern.
+func seeded(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 0x9e3779b9))
+}
+
+// draw is clean: methods on an explicit generator.
+func draw(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+// sloppy is flagged twice: both the constructor and its source are
+// wall-clock seeded, so the generator differs on every run.
+func sloppy() *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(time.Now().UnixNano()), 1)) // want `rand.New is seeded from the wall clock` `rand.NewPCG is seeded from the wall clock`
+}
+
+// pidSeeded is flagged: process identity is run-varying seed material.
+func pidSeeded() *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(os.Getpid()), 2)) // want `rand.New is seeded from the process ID` `rand.NewPCG is seeded from the process ID`
+}
+
+// jitter is the annotation-suppressed site: a deliberately
+// non-reproducible path, annotated as such.
+func jitter() float64 {
+	return rand.Float64() //wfsimlint:allow seedrand
+}

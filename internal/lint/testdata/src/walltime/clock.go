@@ -1,0 +1,13 @@
+// This file is the fixture's real-time layer: the file-level annotation
+// exempts every host-clock call in it.
+//
+//wfsimlint:wallclock
+
+package walltime
+
+import "time"
+
+// elapsed is clean here: the file is annotated wall-clock layer.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,9 @@
+package walltime
+
+import "time"
+
+// testDelay is clean: _test.go files are exempt from walltime — tests
+// and benchmarks legitimately sleep and time themselves.
+func testDelay() {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,33 @@
+// Package walltime is the fixture for the walltime analyzer: host-clock
+// calls are flagged in ordinary (virtual-time) files, waved through in a
+// //wfsimlint:wallclock-annotated file, exempt in test files, and
+// suppressible per line.
+package walltime
+
+import "time"
+
+// stamp is flagged: simulation code must not read the host clock.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the host clock`
+}
+
+// pause is flagged: sleeping stalls a world that should advance on the
+// virtual clock.
+func pause() {
+	time.Sleep(10 * time.Millisecond) // want `time.Sleep reads the host clock`
+}
+
+// timer is flagged: timers are host-clock waits too.
+func timer() <-chan time.Time {
+	return time.After(time.Second) // want `time.After reads the host clock`
+}
+
+// window is clean: durations and time constants are pure values.
+func window() time.Duration {
+	return 3 * time.Second
+}
+
+// profiled is the annotation-suppressed site: a deliberate exception.
+func profiled() time.Time {
+	return time.Now() //wfsimlint:allow walltime
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// pkgPathOf resolves expr to an imported package path when expr is an
+// identifier bound to an import (handles renamed imports).
+func pkgPathOf(info *types.Info, expr ast.Expr) (string, bool) {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// pkgFunc decomposes a qualified call like fmt.Println into its package
+// path and function name.
+func pkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	path, ok := pkgPathOf(info, sel.X)
+	if !ok {
+		return "", "", false
+	}
+	return path, sel.Sel.Name, true
+}
+
+// rootIdent returns the leftmost identifier of an lvalue-ish expression:
+// x, x.f, x[i], *x, (x) all resolve to x.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// objOf resolves an identifier to its object, whether the identifier is a
+// use or a definition site.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// declaredBefore reports whether obj's declaration precedes pos — i.e. the
+// object outlives (was not created by) the construct starting at pos.
+func declaredBefore(obj types.Object, pos token.Pos) bool {
+	return obj != nil && obj.Pos().IsValid() && obj.Pos() < pos
+}
+
+// isFloat reports whether t's core type is a floating-point or complex
+// type — the types whose addition is non-associative, so reduction order
+// changes the bits of the result.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isString reports whether t's core type is a string (concatenation order
+// is visible in the result).
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isBuiltin reports whether the call invokes the named predeclared
+// function (append, copy, delete, ...).
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := objOf(info, id).(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// forEachStmtList visits every statement list in f: block bodies and
+// switch/select case bodies. Range statements always live in one of
+// these, so a visitor over statement lists sees every loop together with
+// the statements that follow it — which is what the sorted-keys idiom
+// recognizer needs.
+func forEachStmtList(f *ast.File, visit func(list []ast.Stmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			visit(n.List)
+		case *ast.CaseClause:
+			visit(n.Body)
+		case *ast.CommClause:
+			visit(n.Body)
+		}
+		return true
+	})
+}
+
+// unwrapLabeled peels labels off a statement: `loop: for ... {}` is still
+// a range statement for our purposes.
+func unwrapLabeled(s ast.Stmt) ast.Stmt {
+	for {
+		ls, ok := s.(*ast.LabeledStmt)
+		if !ok {
+			return s
+		}
+		s = ls.Stmt
+	}
+}
+
+// indexedByLoopVar reports whether lhs is an index expression whose index
+// is exactly one of the loop variables — the per-key sharding pattern
+// (`out[k] += v`): every iteration owns its slot, so iteration order is
+// invisible in the result.
+func indexedByLoopVar(info *types.Info, lhs ast.Expr, loopVars map[types.Object]bool) bool {
+	ix, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ix.Index.(*ast.Ident)
+	return ok && loopVars[objOf(info, id)]
+}
+
+// accumTarget matches the two float/string accumulation shapes —
+// `x op= expr` and `x = x op expr` — and returns the root identifier of x
+// for ops where evaluation order is visible in the result (float/complex
+// rounding, string concatenation). Integer accumulation is exact and
+// commutative, so it is not matched.
+func accumTarget(info *types.Info, as *ast.AssignStmt) *ast.Ident {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	lhs := as.Lhs[0]
+	t := info.TypeOf(lhs)
+	floaty, stringy := isFloat(t), isString(t)
+	if !floaty && !stringy {
+		return nil
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if stringy && as.Tok != token.ADD_ASSIGN {
+			return nil
+		}
+		return rootIdent(lhs)
+	case token.ASSIGN:
+		// x = x op expr (or x = expr op x for commutative-looking ops —
+		// either way the old value feeds the new one).
+		be, ok := as.Rhs[0].(*ast.BinaryExpr)
+		if !ok {
+			return nil
+		}
+		switch be.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+		default:
+			return nil
+		}
+		root := rootIdent(lhs)
+		if root == nil {
+			return nil
+		}
+		lobj := objOf(info, root)
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			if sr := rootIdent(side); sr != nil && lobj != nil && objOf(info, sr) == lobj {
+				return root
+			}
+		}
+	}
+	return nil
+}

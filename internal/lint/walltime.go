@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+
+	"wfsim/internal/lint/analysis"
+)
+
+// WallTime forbids reading or acting on the host's clock in simulation
+// code. The simulated world advances on the DES engine's virtual clock
+// (sim.Engine.Now); any time.Now/Since/Sleep in those packages either
+// leaks nondeterministic wall-clock values into results or stalls a
+// simulation that should complete in microseconds.
+//
+// The rule is deny-by-default: every non-test file is virtual-time unless
+// it carries the file-level annotation
+//
+//	//wfsimlint:wallclock
+//
+// (conventionally placed directly above the package clause), which marks
+// it as part of the real-time layer — the trial runner that measures
+// actual host wall-clock, the CLI that reports elapsed time to humans,
+// and the real-execution local backend. Individual calls can also be
+// waved through with //wfsimlint:allow walltime.
+//
+// Test files are exempt: tests and benchmarks legitimately sleep and time
+// themselves, and they are not part of the simulated world.
+var WallTime = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "forbids wall-clock time (time.Now/Since/Sleep/...) outside the annotated real-time layer",
+	Run:  runWallTime,
+}
+
+// wallFuncs are the package-level `time` entry points that observe or
+// wait on the host clock. Pure types and constants (time.Duration,
+// time.Millisecond, ...) remain usable everywhere.
+var wallFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runWallTime(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) || analysis.FileHasAnnotation(f, "wallclock") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !wallFuncs[sel.Sel.Name] {
+				return true
+			}
+			if path, ok := pkgPathOf(pass.TypesInfo, sel.X); ok && path == "time" {
+				pass.Reportf(sel.Pos(), "time.%s reads the host clock: simulation code must use the engine's virtual clock (sim.Engine.Now); if this file is genuinely part of the real-time layer, annotate it //wfsimlint:wallclock", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -182,9 +182,16 @@ func (c *Collector) MovementPerCore(stage Stage) float64 {
 	if len(perCore) == 0 {
 		return 0
 	}
+	// Sum in core order: float addition is non-associative, so summing in
+	// map order would make the reported mean's bits vary run to run.
+	cores := make([]int, 0, len(perCore))
+	for c := range perCore {
+		cores = append(cores, c)
+	}
+	sort.Ints(cores)
 	var sum float64
-	for _, v := range perCore {
-		sum += v
+	for _, c := range cores {
+		sum += perCore[c]
 	}
 	return sum / float64(len(perCore))
 }

@@ -11,6 +11,11 @@
 // byte-identical to a serial run: results are returned in submission
 // order, never completion order, and every trial is an independent
 // deterministic simulation.
+//
+// This package is the real-time layer by design: it times trials with the
+// host clock, so it is exempt from the walltime determinism lint.
+//
+//wfsimlint:wallclock
 package runner
 
 import (

@@ -1,3 +1,9 @@
+// The local backend executes real kernels on the host and reports real
+// elapsed time, so this file is wall-clock layer by design and exempt
+// from the walltime determinism lint.
+//
+//wfsimlint:wallclock
+
 package runtime
 
 import (

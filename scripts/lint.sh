@@ -1,0 +1,20 @@
+#!/bin/sh
+# Mirror of CI's Lint step for local use. Run from the repository root:
+#
+#     scripts/lint.sh
+#
+# Runs the wfsimlint determinism suite (maporder, walltime, seedrand,
+# floatreduce — see DESIGN.md "Determinism invariants") over the whole
+# module, then checks gofmt cleanliness. Exits non-zero on any finding.
+set -eu
+
+go run ./cmd/wfsimlint ./...
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "lint: clean"

@@ -1,0 +1,60 @@
+package wfsim_test
+
+import (
+	"testing"
+
+	"wfsim"
+)
+
+// simAllocs returns the allocations of one full build+simulate cycle of a
+// 64-block K-means with the given iteration count, averaged over a few
+// runs.
+func simAllocs(t *testing.T, iterations int) float64 {
+	t.Helper()
+	return testing.AllocsPerRun(3, func() {
+		wf, err := wfsim.BuildKMeans(wfsim.KMeansConfig{
+			Dataset: wfsim.Datasets.KMeansSmall, Grid: 64, Clusters: 10,
+			Iterations: iterations,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := wfsim.RunSim(wf, wfsim.SimConfig{Device: wfsim.GPU}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestSimAllocBudget is the hot-path allocation-regression guard: it
+// measures the marginal allocations per simulated task — the difference
+// between a deep and a shallow run of the same workflow shape, so
+// fixed per-run costs (cluster construction, collector buffer, coroutine
+// warm-up) cancel out — and fails if the hot path regresses past a small
+// fixed budget.
+//
+// The datum-interning refactor pinned this near 2 allocations per task:
+// the task's datum-name string built by the app and its interner map
+// entry, both build-time; the simulate path itself is allocation-free in
+// steady state. The budget leaves headroom for noise, not for regressions:
+// if this fails, something on the per-task path started allocating.
+func TestSimAllocBudget(t *testing.T) {
+	const (
+		shallowIters = 2
+		deepIters    = 12
+		grid         = 64
+		budget       = 6.0 // marginal allocs per task, ~5× observed
+	)
+	// Warm the engine's global coroutine pool and the allocator so both
+	// measured runs see identical steady-state conditions.
+	simAllocs(t, deepIters)
+
+	shallow := simAllocs(t, shallowIters)
+	deep := simAllocs(t, deepIters)
+	marginalTasks := float64((grid + 1) * (deepIters - shallowIters))
+	perTask := (deep - shallow) / marginalTasks
+	t.Logf("allocs: shallow=%.0f deep=%.0f marginal/task=%.2f (budget %v)",
+		shallow, deep, perTask, budget)
+	if perTask > budget {
+		t.Errorf("hot path allocates %.2f allocations per task, budget %v", perTask, budget)
+	}
+}

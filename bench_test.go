@@ -19,6 +19,7 @@ import (
 	"wfsim"
 	"wfsim/internal/experiments"
 	"wfsim/internal/runner"
+	"wfsim/internal/sched"
 	"wfsim/internal/sim"
 	"wfsim/internal/stats"
 )
@@ -266,6 +267,85 @@ func BenchmarkSimWorkflow(b *testing.B) {
 		}
 		if _, err := wfsim.RunSim(wf, wfsim.SimConfig{Device: wfsim.GPU}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimWorkflowLarge measures the 100k-task scale point the datum
+// interning work opens: a 1024-block K-means with 100 Lloyd iterations
+// (102,500 tasks) under the pricier locality policy on node-local storage,
+// where every placement decision scores per-datum residency. Before
+// interning, string-keyed location maps made this configuration
+// allocation-bound; with dense IDs it is a routine benchmark.
+func BenchmarkSimWorkflowLarge(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wf, err := wfsim.BuildKMeans(wfsim.KMeansConfig{
+			Dataset: wfsim.Datasets.KMeansSmall, Grid: 1024, Clusters: 10,
+			Iterations: 100,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := wfsim.RunSim(wf, wfsim.SimConfig{
+			Device:  wfsim.GPU,
+			Storage: wfsim.LocalDisk,
+			Policy:  wfsim.DataLocality,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.SchedDecisions != 1024*100+100 {
+			b.Fatalf("scheduled %d tasks, want %d", res.SchedDecisions, 1024*100+100)
+		}
+	}
+}
+
+// BenchmarkDAGBuild isolates workflow construction — task generation,
+// datum interning, dependency wiring — without simulating anything.
+func BenchmarkDAGBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wfsim.BuildKMeans(wfsim.KMeansConfig{
+			Dataset: wfsim.Datasets.KMeansSmall, Grid: 256, Clusters: 10,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocalityPlace isolates one locality placement decision: scoring
+// a task's input residency across nodes. This is the per-task inner loop
+// the interning refactor turned from string-map lookups into flat
+// slice indexing; it must stay allocation-free.
+func BenchmarkLocalityPlace(b *testing.B) {
+	s, err := sched.New(sched.Locality, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nodes = 8
+	loc := make([]int32, 64)
+	for i := range loc {
+		loc[i] = int32(i % nodes)
+	}
+	view := sched.View{
+		NumNodes: nodes,
+		Load:     make([]int, nodes),
+		Locate: func(id int32) (int, bool) {
+			if int(id) < len(loc) {
+				return int(loc[id]), true
+			}
+			return 0, false
+		},
+	}
+	ref := sched.TaskRef{ID: 1, Name: "partial_sum", Inputs: []sched.DataLoc{
+		{ID: 3, Bytes: 64 << 20}, {ID: 11, Bytes: 64 << 20}, {ID: 42, Bytes: 1 << 10},
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := s.Place(ref, &view); n < 0 || n >= nodes {
+			b.Fatalf("placed on node %d", n)
 		}
 	}
 }

@@ -22,6 +22,7 @@ package kmeans
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"wfsim/internal/costmodel"
 	"wfsim/internal/dag"
@@ -110,14 +111,35 @@ func MergeProfile(g, n, k int64) costmodel.Profile {
 	}
 }
 
-// Data keys.
-func keyBlock(b int64) string { return fmt.Sprintf("X[%d]", b) }
+// Data keys. Built with strconv appends instead of fmt.Sprintf: key
+// construction dominates workflow-build allocations at large grids, and an
+// append chain into a pre-sized buffer costs a single string allocation.
+func keyBlock(b int64) string {
+	buf := make([]byte, 0, 16)
+	buf = append(buf, "X["...)
+	buf = strconv.AppendInt(buf, b, 10)
+	buf = append(buf, ']')
+	return string(buf)
+}
 
 // KeyCenters returns the datum name of the centers after iteration it
 // (KeyCenters(0) is the initial centers input).
-func KeyCenters(it int) string { return fmt.Sprintf("C%d", it) }
+func KeyCenters(it int) string {
+	buf := make([]byte, 0, 12)
+	buf = append(buf, 'C')
+	buf = strconv.AppendInt(buf, int64(it), 10)
+	return string(buf)
+}
 
-func keyPartial(it int, b int64) string { return fmt.Sprintf("ps[%d,%d]", it, b) }
+func keyPartial(it int, b int64) string {
+	buf := make([]byte, 0, 24)
+	buf = append(buf, "ps["...)
+	buf = strconv.AppendInt(buf, int64(it), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, b, 10)
+	buf = append(buf, ']')
+	return string(buf)
+}
 
 // Build constructs the workflow.
 func Build(cfg Config) (*runtime.Workflow, error) {
@@ -140,8 +162,12 @@ func Build(cfg Config) (*runtime.Workflow, error) {
 			dataset.FormatBytes(part.SizeBytes()), dataset.FormatBytes(cfg.MaterializeBudget))
 	}
 
-	// Input blocks.
+	// Input blocks. Keys are built once and reused across every iteration
+	// below — at grid 1024 × 100 iterations that is ~100k avoided string
+	// builds.
+	blockKeys := make([]string, g)
 	for b := int64(0); b < g; b++ {
+		blockKeys[b] = keyBlock(b)
 		rows, cols, err := part.BlockShape(b, 0)
 		if err != nil {
 			return nil, err
@@ -153,9 +179,9 @@ func Build(cfg Config) (*runtime.Workflow, error) {
 			} else {
 				gen.FillBlobs(blk, int(k), 0.5)
 			}
-			wf.SetInput(keyBlock(b), blk)
+			wf.SetInput(blockKeys[b], blk)
 		} else {
-			wf.SetSize(keyBlock(b), float64(rows*cols*dataset.ElemSize))
+			wf.SetSize(blockKeys[b], float64(rows*cols*dataset.ElemSize))
 		}
 	}
 	// Initial centers: the first k rows of block 0 (dislib's default-ish
@@ -183,9 +209,10 @@ func Build(cfg Config) (*runtime.Workflow, error) {
 	}
 
 	// Iterations.
+	mergeParams := make([]dag.Param, 0, g+1)
 	for it := 0; it < cfg.Iterations; it++ {
 		prevC := KeyCenters(it)
-		mergeParams := []dag.Param{}
+		mergeParams = mergeParams[:0]
 		for b := int64(0); b < g; b++ {
 			rows, cols, err := part.BlockShape(b, 0)
 			if err != nil {
@@ -195,14 +222,14 @@ func Build(cfg Config) (*runtime.Workflow, error) {
 			wf.SetSize(ps, float64(k*(n+1)*dataset.ElemSize))
 			spec := runtime.TaskSpec{Profile: PartialSumProfile(rows, cols, k)}
 			if cfg.Materialize {
-				xKey, cKey, psKey := keyBlock(b), prevC, ps
+				xKey, cKey, psKey := blockKeys[b], prevC, ps
 				kk := k
 				spec.Exec = func(s *runtime.Store) error {
 					return execPartialSum(s, xKey, cKey, psKey, kk)
 				}
 			}
 			wf.AddTask("partial_sum", spec,
-				dag.Param{Data: keyBlock(b), Dir: dag.In},
+				dag.Param{Data: blockKeys[b], Dir: dag.In},
 				dag.Param{Data: prevC, Dir: dag.In},
 				dag.Param{Data: ps, Dir: dag.Out})
 			mergeParams = append(mergeParams, dag.Param{Data: ps, Dir: dag.In})

@@ -90,7 +90,7 @@ type Cluster struct {
 	// Master is the runtime's scheduling thread (capacity 1); per-task
 	// scheduling decisions serialize through it, which is how an excess
 	// of fine-grained tasks turns scheduling into a bottleneck.
-	Master *sim.Server
+	Master *sim.ServiceLine
 }
 
 // Build instantiates the topology on the engine using the calibrated rates
@@ -103,7 +103,7 @@ func Build(eng *sim.Engine, spec Spec, params costmodel.Params) (*Cluster, error
 		Spec:   spec,
 		Params: params,
 		Shared: sim.NewLink(eng, "gpfs", params.SharedBandwidth, params.SharedLatency),
-		Master: sim.NewServer(eng, "master", 1),
+		Master: sim.NewServiceLine(eng, "master"),
 	}
 	for i := 0; i < spec.Nodes; i++ {
 		n := &Node{

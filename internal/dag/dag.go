@@ -11,12 +11,18 @@
 // The DAG's shape carries the paper's key structural features: its maximum
 // width is the degree of task-level parallelism and its height the degree
 // of task dependency (both appear in the Figure 11 correlation analysis).
+//
+// Datum names are application-chosen strings (e.g. "A[0,1]") at the API
+// surface, but the graph interns every name into a dense int32 datum ID on
+// first touch. All internal bookkeeping — last-writer tracking, version
+// counts — and every layer below (workflow sizes, storage locations,
+// scheduler locality scoring) is indexed by datum ID, so the steady-state
+// task lifecycle never hashes a string.
 package dag
 
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 )
 
@@ -59,6 +65,46 @@ func (p Param) Reads() bool { return p.Dir == In || p.Dir == InOut }
 // Writes reports whether the parameter writes its datum.
 func (p Param) Writes() bool { return p.Dir == Out || p.Dir == InOut }
 
+// Interner maps datum names to dense int32 IDs and back. IDs are assigned
+// in first-touch order starting at 0, so they index plain slices in every
+// layer that tracks per-datum state.
+type Interner struct {
+	ids   map[string]int32
+	names []string
+}
+
+// NewInterner returns an empty interner, pre-sized for workflow-scale
+// datum counts so steady map growth does not dominate DAG construction.
+func NewInterner() *Interner {
+	return &Interner{
+		ids:   make(map[string]int32, 1024),
+		names: make([]string, 0, 1024),
+	}
+}
+
+// Intern returns the ID of name, assigning the next dense ID on first use.
+func (in *Interner) Intern(name string) int32 {
+	if id, ok := in.ids[name]; ok {
+		return id
+	}
+	id := int32(len(in.names))
+	in.names = append(in.names, name)
+	in.ids[name] = id
+	return id
+}
+
+// Lookup returns the ID of name if it has been interned.
+func (in *Interner) Lookup(name string) (int32, bool) {
+	id, ok := in.ids[name]
+	return id, ok
+}
+
+// Name returns the name interned under id.
+func (in *Interner) Name(id int32) string { return in.names[id] }
+
+// Len returns the number of interned names (== 1 + the largest ID).
+func (in *Interner) Len() int { return len(in.names) }
+
 // Task is a node of the DAG.
 type Task struct {
 	// ID is the task's generation order (0-based) — the key the FIFO
@@ -68,6 +114,7 @@ type Task struct {
 	// metrics (§4.2) groups on it.
 	Name string
 	// Params are the data parameters that induced the task's edges.
+	// Graph.Add copies them, so the caller's slice is not retained.
 	Params []Param
 	// Payload carries runtime-specific data (cost profile, kernel
 	// function); the dag package never inspects it.
@@ -76,62 +123,235 @@ type Task struct {
 	// 1 + max(level of predecessors). Populated by Graph.Add.
 	Level int
 
-	deps  []int // predecessor task IDs, ascending, deduplicated
-	succs []int // successor task IDs in insertion order
+	dataIDs []int32 // interned datum ID of each Param, same indexing
+	deps    []int   // predecessor task IDs, ascending, deduplicated
+	succs   []int   // successor task IDs in insertion order (built lazily)
+	g       *Graph
 }
 
 // Deps returns the task's predecessor IDs (do not modify).
 func (t *Task) Deps() []int { return t.deps }
 
 // Succs returns the task's successor IDs (do not modify).
-func (t *Task) Succs() []int { return t.succs }
+func (t *Task) Succs() []int {
+	if t.g != nil {
+		t.g.ensureSuccs()
+	}
+	return t.succs
+}
+
+// DataIDs returns the interned datum ID of each parameter, parallel to
+// Params (do not modify).
+func (t *Task) DataIDs() []int32 { return t.dataIDs }
 
 // Graph is an execution DAG under construction. The zero value is not
 // usable; construct with New.
+//
+// Tasks, their parameter lists and their dependency lists are carved out
+// of slab arenas owned by the graph, so building an n-task DAG costs O(log
+// n) slab allocations instead of O(n) small ones — the difference between
+// a 100k-task build thrashing the allocator and not.
 type Graph struct {
-	tasks      []*Task
-	lastWriter map[string]int // datum -> task ID of last writer
-	versions   map[string]int // datum -> version count (for labels)
+	tasks []*Task
+	data  *Interner
+
+	lastWriter []int32 // datum ID -> task ID of last writer, -1 if none
+	versions   []int32 // datum ID -> version count (for labels)
+
+	taskArena  []Task  // current task slab; never moved once handed out
+	paramArena []Param // current Param slab
+	idArena    []int32 // current datum-ID slab
+	depArena   []int   // current dependency slab
+
+	succsBuilt bool // successor lists are up to date
+	succArena  []int
 }
 
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{lastWriter: make(map[string]int), versions: make(map[string]int)}
+	return &Graph{data: NewInterner()}
+}
+
+// Data returns the graph's datum interner, shared with every layer that
+// keys per-datum state by ID.
+func (g *Graph) Data() *Interner { return g.data }
+
+// NumData returns the number of distinct datum names seen so far.
+func (g *Graph) NumData() int { return g.data.Len() }
+
+// DatumID interns name and grows the per-datum bookkeeping to cover it.
+// All datum IDs handed to the rest of the stack come from here (or from
+// the workflow layer calling Intern plus its own growth).
+func (g *Graph) DatumID(name string) int32 {
+	id := g.data.Intern(name)
+	for int(id) >= len(g.lastWriter) {
+		g.lastWriter = append(g.lastWriter, -1)
+		g.versions = append(g.versions, 0)
+	}
+	return id
+}
+
+// allocTask returns a stable pointer to a zeroed Task from the slab arena.
+func (g *Graph) allocTask() *Task {
+	if len(g.taskArena) == cap(g.taskArena) {
+		c := 2 * cap(g.taskArena)
+		if c < 64 {
+			c = 64
+		} else if c > 8192 {
+			c = 8192
+		}
+		g.taskArena = make([]Task, 0, c)
+	}
+	g.taskArena = g.taskArena[:len(g.taskArena)+1]
+	return &g.taskArena[len(g.taskArena)-1]
+}
+
+// allocParams returns a full-capacity slice of n Params from the slab
+// arena. When the current slab is exhausted a fresh one is allocated; old
+// slabs stay alive through the task slices pointing into them.
+func (g *Graph) allocParams(n int) []Param {
+	if cap(g.paramArena)-len(g.paramArena) < n {
+		c := 2 * cap(g.paramArena)
+		if c < 256 {
+			c = 256
+		}
+		if c < n {
+			c = n
+		}
+		g.paramArena = make([]Param, 0, c)
+	}
+	s := g.paramArena[len(g.paramArena) : len(g.paramArena)+n : len(g.paramArena)+n]
+	g.paramArena = g.paramArena[:len(g.paramArena)+n]
+	return s
+}
+
+// allocIDs is allocParams for datum-ID slices.
+func (g *Graph) allocIDs(n int) []int32 {
+	if cap(g.idArena)-len(g.idArena) < n {
+		c := 2 * cap(g.idArena)
+		if c < 256 {
+			c = 256
+		}
+		if c < n {
+			c = n
+		}
+		g.idArena = make([]int32, 0, c)
+	}
+	s := g.idArena[len(g.idArena) : len(g.idArena)+n : len(g.idArena)+n]
+	g.idArena = g.idArena[:len(g.idArena)+n]
+	return s
+}
+
+// reserveDeps returns an empty slice with capacity n at the dep slab's
+// tail. The caller fills it (staying within cap) and commits the bytes
+// actually used by advancing g.depArena itself.
+func (g *Graph) reserveDeps(n int) []int {
+	if cap(g.depArena)-len(g.depArena) < n {
+		c := 2 * cap(g.depArena)
+		if c < 256 {
+			c = 256
+		}
+		if c < n {
+			c = n
+		}
+		g.depArena = make([]int, 0, c)
+	}
+	return g.depArena[len(g.depArena) : len(g.depArena) : len(g.depArena)+n]
 }
 
 // Add appends a task in generation order, inferring its dependencies from
 // the data parameters, and returns it. Edges always point from lower to
 // higher IDs, so the graph is acyclic by construction and insertion order
-// is a valid topological order.
+// is a valid topological order. The params slice is copied.
 func (g *Graph) Add(name string, payload any, params ...Param) *Task {
-	t := &Task{ID: len(g.tasks), Name: name, Params: params, Payload: payload}
-	seen := make(map[int]bool)
-	for _, p := range params {
-		if p.Reads() || p.Writes() { // RAW and WAW both edge on the last writer
-			if w, ok := g.lastWriter[p.Data]; ok && !seen[w] {
-				seen[w] = true
-				t.deps = append(t.deps, w)
-			}
-		}
+	t := g.allocTask()
+	t.ID = len(g.tasks)
+	t.Name = name
+	t.Payload = payload
+	t.g = g
+	t.Params = g.allocParams(len(params))
+	copy(t.Params, params)
+	t.dataIDs = g.allocIDs(len(params))
+	for i := range params {
+		t.dataIDs[i] = g.DatumID(params[i].Data)
 	}
-	sort.Ints(t.deps)
+
+	// Dependencies: RAW and WAW both edge on the last writer. Dedup via
+	// insertion into the small sorted deps slice — a task has a handful of
+	// params, so this beats a per-task map by a wide margin.
+	deps := g.reserveDeps(len(params))
+	for i, p := range params {
+		if !p.Reads() && !p.Writes() {
+			continue
+		}
+		w := g.lastWriter[t.dataIDs[i]]
+		if w < 0 {
+			continue
+		}
+		d := int(w)
+		pos := len(deps)
+		for pos > 0 && deps[pos-1] > d {
+			pos--
+		}
+		if pos > 0 && deps[pos-1] == d {
+			continue
+		}
+		deps = deps[:len(deps)+1]
+		copy(deps[pos+1:], deps[pos:])
+		deps[pos] = d
+	}
+	t.deps = deps[:len(deps):len(deps)]
+	g.depArena = g.depArena[:len(g.depArena)+len(deps)] // commit the used prefix
+
 	level := 0
 	for _, d := range t.deps {
-		dep := g.tasks[d]
-		dep.succs = append(dep.succs, t.ID)
-		if dep.Level+1 > level {
-			level = dep.Level + 1
+		if lvl := g.tasks[d].Level + 1; lvl > level {
+			level = lvl
 		}
 	}
 	t.Level = level
-	for _, p := range params {
+	for i, p := range params {
 		if p.Writes() {
-			g.lastWriter[p.Data] = t.ID
-			g.versions[p.Data]++
+			id := t.dataIDs[i]
+			g.lastWriter[id] = int32(t.ID)
+			g.versions[id]++
 		}
 	}
 	g.tasks = append(g.tasks, t)
+	g.succsBuilt = false
 	return t
+}
+
+// ensureSuccs (re)builds every task's successor list in one pass over the
+// edge set: exact-size slices carved from a single arena, appended in task
+// ID order — which is exactly the insertion order incremental building
+// would produce.
+func (g *Graph) ensureSuccs() {
+	if g.succsBuilt {
+		return
+	}
+	counts := make([]int, len(g.tasks))
+	total := 0
+	for _, t := range g.tasks {
+		for _, d := range t.deps {
+			counts[d]++
+			total++
+		}
+	}
+	g.succArena = make([]int, total)
+	arena := g.succArena
+	off := 0
+	for _, t := range g.tasks {
+		t.succs = arena[off : off : off+counts[t.ID]]
+		off += counts[t.ID]
+	}
+	for _, t := range g.tasks {
+		for _, d := range t.deps {
+			dt := g.tasks[d]
+			dt.succs = append(dt.succs, t.ID)
+		}
+	}
+	g.succsBuilt = true
 }
 
 // Len returns the number of tasks.
@@ -145,7 +365,13 @@ func (g *Graph) Tasks() []*Task { return g.tasks }
 
 // Version returns how many times the datum has been written — the vN
 // suffix in the paper's Figure 6 node labels.
-func (g *Graph) Version(data string) int { return g.versions[data] }
+func (g *Graph) Version(data string) int {
+	id, ok := g.data.Lookup(data)
+	if !ok || int(id) >= len(g.versions) {
+		return 0
+	}
+	return int(g.versions[id])
+}
 
 // Levels groups task IDs by DAG level, index 0 being the sources.
 func (g *Graph) Levels() [][]int {
@@ -195,6 +421,7 @@ func (g *Graph) Roots() []int {
 // Validate checks structural invariants: edges point forward (acyclicity),
 // dep/succ symmetry, and level consistency.
 func (g *Graph) Validate() error {
+	g.ensureSuccs()
 	for _, t := range g.tasks {
 		want := 0
 		for _, d := range t.deps {

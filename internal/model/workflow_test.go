@@ -15,11 +15,7 @@ import (
 // attached profiles.
 func taskTimer(wf *runtime.Workflow, params costmodel.Params, dev costmodel.DeviceKind) func(*dag.Task) float64 {
 	return func(t *dag.Task) float64 {
-		spec, ok := t.Payload.(runtime.TaskSpec)
-		if !ok {
-			return 0
-		}
-		return params.UserCodeTimeUncontended(spec.Profile, dev)
+		return params.UserCodeTimeUncontended(wf.Spec(t).Profile, dev)
 	}
 }
 

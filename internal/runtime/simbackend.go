@@ -3,6 +3,7 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"wfsim/internal/cluster"
@@ -104,7 +105,7 @@ func RunSim(wf *Workflow, cfg SimConfig) (*SimResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	store, err := storage.New(cfg.Storage, clu)
+	store, err := storage.New(cfg.Storage, clu, wf.Graph.NumData())
 	if err != nil {
 		return nil, err
 	}
@@ -119,13 +120,34 @@ func RunSim(wf *Workflow, cfg SimConfig) (*SimResult, error) {
 		collector: metrics.NewCollector(),
 		remaining: make([]int, wf.Graph.Len()),
 		load:      make([]int, cfg.Cluster.Nodes),
-		slots:     make([][]bool, cfg.Cluster.Nodes),
+		slots:     make([][]uint64, cfg.Cluster.Nodes),
+	}
+	run.taskProcFn = run.taskProc
+	run.requestFn = clu.Master.Request
+	run.schedOverhead = scheduler.Overhead(*params)
+	// The master grant callback pops the ready queue at the exact grant
+	// instant and schedules the task process to start once the decision's
+	// service time has elapsed. Dispatch requests are procless events, so a
+	// ready task costs no goroutine handoffs until it is actually granted.
+	clu.Master.SetOnGrant(run.grantNext)
+	// The scheduler view is stable for the whole run: Load and Locate are
+	// live references into the run state, so one View serves every
+	// placement decision.
+	run.view = sched.View{
+		NumNodes: cfg.Cluster.Nodes,
+		Load:     run.load,
+		Locate:   store.Location,
 	}
 	// Every record buffer append lands in one up-front allocation: the
 	// record count is bounded by tasks × stages.
 	run.collector.Grow(wf.Graph.Len() * metrics.NumStages)
+	// Core-occupancy bitmaps: bit i set = physical core i free.
+	words := (cfg.Cluster.CoresPerNode + 63) / 64
 	for i := range run.slots {
-		run.slots[i] = make([]bool, cfg.Cluster.CoresPerNode)
+		run.slots[i] = make([]uint64, words)
+		for c := 0; c < cfg.Cluster.CoresPerNode; c++ {
+			run.slots[i][c/64] |= 1 << (c % 64)
+		}
 	}
 	for _, lvl := range wf.Graph.Levels() {
 		run.levelWidth = append(run.levelWidth, len(lvl))
@@ -136,10 +158,12 @@ func RunSim(wf *Workflow, cfg SimConfig) (*SimResult, error) {
 	// initial distribution a data-aware loader would produce. Keys are
 	// placed largest-first so the dataset blocks land evenly and small
 	// broadcast data (e.g. K-means centers) doesn't skew the rotation.
-	keys := wf.InputKeys()
-	sort.SliceStable(keys, func(i, j int) bool { return wf.sizes[keys[i]] > wf.sizes[keys[j]] })
-	for i, key := range keys {
-		store.Place(key, i%cfg.Cluster.Nodes)
+	inputs := wf.InputIDs()
+	sort.SliceStable(inputs, func(i, j int) bool {
+		return wf.SizeByID(inputs[i]) > wf.SizeByID(inputs[j])
+	})
+	for i, id := range inputs {
+		store.Place(id, i%cfg.Cluster.Nodes)
 	}
 
 	// Seed the ready queue with dependency-free tasks in generation order.
@@ -199,31 +223,98 @@ type simRun struct {
 	scheduler sched.Scheduler
 	collector *metrics.Collector
 
-	queue      sched.Queue
-	remaining  []int    // unmet dependency count per task
-	load       []int    // outstanding tasks per node
-	slots      [][]bool // physical core occupancy per node, for core naming
-	levelWidth []int    // tasks per DAG level
-	done       int
+	queue         sched.Queue
+	granted       sched.Queue     // refs popped at grant instants, consumed in grant order
+	arrivals      floatRing       // dispatch-request instants, consumed in grant order
+	view          sched.View      // reused across every placement decision
+	taskProcFn    func(*sim.Proc) // bound once; a per-enqueue method value would allocate
+	requestFn     func()          // bound once: Master.Request
+	schedOverhead float64         // per-decision master service time (policy constant)
+	remaining     []int           // unmet dependency count per task
+	load          []int           // outstanding tasks per node
+	slots         [][]uint64      // per-node free-core bitmap (bit set = free)
+	inputSlab     []sched.DataLoc
+	levelWidth    []int // tasks per DAG level
+	done          int
+}
+
+// floatRing is a growable FIFO of float64 values (a head-index ring
+// buffer), used to carry dispatch-request timestamps from enqueue to the
+// matching grant without allocating per request.
+type floatRing struct {
+	items []float64
+	head  int
+	count int
+}
+
+func (q *floatRing) push(v float64) {
+	if q.count == len(q.items) {
+		grown := make([]float64, max(2*len(q.items), 8))
+		for i := 0; i < q.count; i++ {
+			grown[i] = q.items[(q.head+i)%len(q.items)]
+		}
+		q.items = grown
+		q.head = 0
+	}
+	q.items[(q.head+q.count)%len(q.items)] = v
+	q.count++
+}
+
+func (q *floatRing) pop() float64 {
+	if q.count == 0 {
+		panic("runtime: pop of empty floatRing")
+	}
+	v := q.items[q.head]
+	q.head = (q.head + 1) % len(q.items)
+	q.count--
+	return v
 }
 
 // acquireSlot returns the lowest free core index on a node, so repeated
 // waves reuse the same physical cores — required for the paper's per-core
-// (de)serialization aggregation to be meaningful.
+// (de)serialization aggregation to be meaningful. The free set is a
+// bitmap, so the "lowest free" scan is a trailing-zeros instruction per
+// 64 cores instead of a linear walk over booleans.
 func (r *simRun) acquireSlot(node int) int {
-	for i, busy := range r.slots[node] {
-		if !busy {
-			r.slots[node][i] = true
-			return i
+	for w, word := range r.slots[node] {
+		if word != 0 {
+			bit := bits.TrailingZeros64(word)
+			r.slots[node][w] = word &^ (1 << bit)
+			return w*64 + bit
 		}
 	}
 	panic(fmt.Sprintf("runtime: no free core slot on node %d despite server grant", node))
 }
 
-// enqueue registers a ready task and spawns its dispatch/execute process.
-// The process name is a constant: per-task names would cost a fmt.Sprintf
-// per task and are never surfaced (the scheduler decides at grant time
-// which queued task the process actually runs).
+// releaseSlot returns a core to the node's free set.
+func (r *simRun) releaseSlot(node, slot int) {
+	r.slots[node][slot/64] |= 1 << (slot % 64)
+}
+
+// borrowInputs returns a zero-length DataLoc slice with capacity n, carved
+// from a slab so each ready task's input list is not an individual
+// allocation. Slices are never returned: the total input-list footprint of
+// a run is a few entries per task, so the slabs cost tens of kilobytes
+// where per-task allocations cost one heap object each.
+func (r *simRun) borrowInputs(n int) []sched.DataLoc {
+	if cap(r.inputSlab)-len(r.inputSlab) < n {
+		c := 1024
+		if c < n {
+			c = n
+		}
+		r.inputSlab = make([]sched.DataLoc, 0, c)
+	}
+	k := len(r.inputSlab)
+	s := r.inputSlab[k : k : k+n]
+	r.inputSlab = r.inputSlab[:k+n]
+	return s
+}
+
+// enqueue registers a ready task and files a dispatch request with the
+// master. The request is a zero-delay engine event — it takes the schedule
+// position the dispatch process's start node used to occupy, so dispatch
+// order is unchanged — and no process exists until the master grants the
+// request (grantNext).
 func (r *simRun) enqueue(t *dag.Task) {
 	ref := sched.TaskRef{ID: t.ID, Name: t.Name}
 	nReads := 0
@@ -233,47 +324,65 @@ func (r *simRun) enqueue(t *dag.Task) {
 		}
 	}
 	if nReads > 0 {
-		ref.Inputs = make([]sched.DataLoc, 0, nReads)
-		for _, p := range t.Params {
+		ids := t.DataIDs()
+		ref.Inputs = r.borrowInputs(nReads)
+		for i, p := range t.Params {
 			if p.Reads() {
-				ref.Inputs = append(ref.Inputs, sched.DataLoc{Key: p.Data, Bytes: r.wf.sizes[p.Data]})
+				id := ids[i]
+				ref.Inputs = append(ref.Inputs, sched.DataLoc{ID: id, Bytes: r.wf.SizeByID(id)})
 			}
 		}
 	}
 	r.queue.Push(ref)
-	r.eng.Go("task", r.taskProc)
+	r.arrivals.push(r.eng.Now())
+	r.eng.Schedule(0, r.requestFn)
 }
 
-// taskProc is the full lifecycle of one dispatched task: scheduling on the
-// master, then the Figure 4 pipeline on the placed node.
-func (r *simRun) taskProc(p *sim.Proc) {
-	// --- Scheduling: serialize through the capacity-1 master and pay the
-	// policy's decision cost. The task actually dispatched is whichever
-	// the policy selects from the ready queue at grant time.
-	schedStart := p.Now()
-	r.clu.Master.Acquire(p)
+// rec appends one stage record. Explicit arguments instead of a per-task
+// closure keep the record path allocation-free.
+func (r *simRun) rec(task *dag.Task, nodeID, core int, dev costmodel.DeviceKind,
+	stage metrics.Stage, start, end float64) {
+	r.collector.Add(metrics.Record{
+		TaskID: task.ID, TaskName: task.Name, Level: task.Level,
+		Node: nodeID, Core: core, Device: dev.String(),
+		Stage: stage, Start: start, End: end,
+	})
+}
+
+// grantNext runs engine-side at the instant the master is granted to the
+// oldest outstanding dispatch request: it pops the policy's pick from the
+// ready queue — the task actually dispatched is whichever the policy
+// selects at this exact instant — and schedules the task process to start
+// once the policy's decision time has elapsed. The master stays held until
+// that process places the task and calls End.
+func (r *simRun) grantNext() {
 	ref, ok := r.scheduler.Next(&r.queue)
 	if !ok {
-		// Cannot happen: one process per queued ref.
-		r.clu.Master.Release()
+		// Cannot happen: one request per queued ref.
 		panic("runtime: ready queue empty at dispatch")
 	}
-	p.Wait(r.scheduler.Overhead(*r.params))
-	view := &sched.View{
-		NumNodes: r.cfg.Cluster.Nodes,
-		Load:     r.load,
-		Locate:   r.store.Location,
-	}
-	nodeID := r.scheduler.Place(ref, view)
-	r.clu.Master.Release()
+	r.granted.Push(ref)
+	r.eng.GoAfter("task", r.schedOverhead, r.taskProcFn)
+}
+
+// taskProc is the full lifecycle of one dispatched task, starting at the
+// instant its scheduling decision completes: placement on the master, then
+// the Figure 4 pipeline on the placed node.
+func (r *simRun) taskProc(p *sim.Proc) {
+	// --- Scheduling epilogue: the grant and decision delay already
+	// happened engine-side (grantNext); this process starts with the
+	// master held, places the task, and releases the master.
+	schedStart := r.arrivals.pop()
+	ref, _ := r.granted.PopFront()
+	nodeID := r.scheduler.Place(ref, &r.view)
+	r.clu.Master.End()
 	if nodeID < 0 || nodeID >= r.cfg.Cluster.Nodes {
 		panic(fmt.Sprintf("runtime: scheduler placed task %d on invalid node %d", ref.ID, nodeID))
 	}
 	r.load[nodeID]++
 
 	task := r.wf.Graph.Task(ref.ID)
-	spec := r.wf.Spec(task)
-	prof := spec.Profile
+	prof := r.wf.Spec(task).Profile
 	dev := taskDevice(prof, r.cfg.Device)
 	node := r.clu.Node(nodeID)
 	speed := 1.0 // CPU-side compute-rate multiplier for this node
@@ -281,15 +390,7 @@ func (r *simRun) taskProc(p *sim.Proc) {
 		speed = r.cfg.NodeSpeed[nodeID]
 	}
 
-	core := -1 // assigned once the core is actually held
-	rec := func(stage metrics.Stage, start, end float64) {
-		r.collector.Add(metrics.Record{
-			TaskID: task.ID, TaskName: task.Name, Level: task.Level,
-			Node: nodeID, Core: core, Device: dev.String(),
-			Stage: stage, Start: start, End: end,
-		})
-	}
-	rec(metrics.StageSched, schedStart, p.Now())
+	r.rec(task, nodeID, -1, dev, metrics.StageSched, schedStart, p.Now())
 
 	// --- Occupy a worker core for the whole task (COMPSs binds the task
 	// to a core; GPU tasks keep their host core while the kernel runs).
@@ -301,7 +402,7 @@ func (r *simRun) taskProc(p *sim.Proc) {
 	// asymmetry at the heart of the paper's parallel-task results.
 	node.Cores.Acquire(p)
 	slot := r.acquireSlot(nodeID)
-	core = nodeID*r.cfg.Cluster.CoresPerNode + slot
+	core := nodeID*r.cfg.Cluster.CoresPerNode + slot
 	if dev == costmodel.GPU {
 		node.GPUs.Acquire(p)
 	}
@@ -310,13 +411,14 @@ func (r *simRun) taskProc(p *sim.Proc) {
 	dStart := p.Now()
 	var readBytes float64
 	for _, in := range ref.Inputs {
-		r.store.Read(p, node, in.Key, in.Bytes)
+		r.store.Read(p, node, in.ID, in.Bytes)
 		readBytes += in.Bytes
 	}
+	ref.Inputs = nil
 	if readBytes > 0 {
 		p.Wait(readBytes / r.params.DeserRate / speed)
 	}
-	rec(metrics.StageDeser, dStart, p.Now())
+	r.rec(task, nodeID, core, dev, metrics.StageDeser, dStart, p.Now())
 
 	// --- User code.
 	switch dev {
@@ -326,17 +428,17 @@ func (r *simRun) taskProc(p *sim.Proc) {
 		if prof.BytesIn > 0 {
 			node.PCIe.Transfer(p, prof.BytesIn)
 		}
-		rec(metrics.StageCommIn, gStart, p.Now())
+		r.rec(task, nodeID, core, dev, metrics.StageCommIn, gStart, p.Now())
 
 		kStart := p.Now()
 		p.Wait(r.params.ParallelTime(prof, costmodel.GPU))
-		rec(metrics.StageParallel, kStart, p.Now())
+		r.rec(task, nodeID, core, dev, metrics.StageParallel, kStart, p.Now())
 
 		oStart := p.Now()
 		if prof.BytesOut > 0 {
 			node.PCIe.Transfer(p, prof.BytesOut)
 		}
-		rec(metrics.StageCommOut, oStart, p.Now())
+		r.rec(task, nodeID, core, dev, metrics.StageCommOut, oStart, p.Now())
 	case costmodel.CPU:
 		kStart := p.Now()
 		if prof.ParallelOps > 0 {
@@ -351,7 +453,7 @@ func (r *simRun) taskProc(p *sim.Proc) {
 			}
 			p.Wait(t / speed)
 		}
-		rec(metrics.StageParallel, kStart, p.Now())
+		r.rec(task, nodeID, core, dev, metrics.StageParallel, kStart, p.Now())
 	}
 
 	// Serial fraction always runs on the host core (§3.3).
@@ -359,30 +461,32 @@ func (r *simRun) taskProc(p *sim.Proc) {
 	if prof.SerialOps > 0 {
 		p.Wait(r.params.SerialTime(prof) / speed)
 	}
-	rec(metrics.StageSerial, sStart, p.Now())
+	r.rec(task, nodeID, core, dev, metrics.StageSerial, sStart, p.Now())
 
 	// --- Serialization: CPU encode, then storage writes of every output.
 	wStart := p.Now()
+	ids := task.DataIDs()
 	var wroteBytes float64
-	for _, prm := range task.Params {
+	for i, prm := range task.Params {
 		if prm.Writes() {
-			wroteBytes += r.wf.sizes[prm.Data]
+			wroteBytes += r.wf.SizeByID(ids[i])
 		}
 	}
 	if wroteBytes > 0 {
 		p.Wait(wroteBytes / r.params.SerRate / speed)
 	}
-	for _, prm := range task.Params {
+	for i, prm := range task.Params {
 		if prm.Writes() {
-			r.store.Write(p, node, prm.Data, r.wf.sizes[prm.Data])
+			id := ids[i]
+			r.store.Write(p, node, id, r.wf.SizeByID(id))
 		}
 	}
-	rec(metrics.StageSer, wStart, p.Now())
+	r.rec(task, nodeID, core, dev, metrics.StageSer, wStart, p.Now())
 
 	if dev == costmodel.GPU {
 		node.GPUs.Release()
 	}
-	r.slots[nodeID][slot] = false
+	r.releaseSlot(nodeID, slot)
 	node.Cores.Release()
 	r.load[nodeID]--
 	r.done++

@@ -43,13 +43,26 @@ type TaskSpec struct {
 // Workflow is an application expressed as tasks over named data. It wraps
 // the dependency DAG with per-datum sizes (for storage I/O and locality
 // decisions) and, optionally, materialized input blocks for real execution.
+//
+// Applications speak datum names (strings); the workflow interns every
+// name into the graph's dense int32 datum ID at declaration time and keeps
+// all per-datum state in plain slices indexed by that ID, so the simulated
+// task hot path never touches a string-keyed map.
 type Workflow struct {
 	Name  string
 	Graph *dag.Graph
 
-	// sizes maps datum key -> bytes, used for (de)serialization volumes
-	// and locality weights.
-	sizes map[string]float64
+	// sizes holds datum bytes indexed by datum ID, used for
+	// (de)serialization volumes and locality weights; sized declares
+	// which entries have actually been set (a datum may legitimately
+	// have size 0).
+	sizes []float64
+	sized []bool
+
+	// specs holds each task's spec indexed by task ID — stored out of
+	// band instead of boxed into dag.Task.Payload, which would cost one
+	// heap allocation per task.
+	specs []TaskSpec
 
 	// initial holds materialized input blocks for the local backend.
 	initial map[string]*dataset.Block
@@ -60,33 +73,74 @@ func NewWorkflow(name string) *Workflow {
 	return &Workflow{
 		Name:    name,
 		Graph:   dag.New(),
-		sizes:   make(map[string]float64),
 		initial: make(map[string]*dataset.Block),
 	}
 }
 
+// datumID interns key and grows the size tables to cover it.
+func (w *Workflow) datumID(key string) int32 {
+	id := w.Graph.DatumID(key)
+	for int(id) >= len(w.sizes) {
+		w.sizes = append(w.sizes, 0)
+		w.sized = append(w.sized, false)
+	}
+	return id
+}
+
 // SetSize declares the serialized size of a datum in bytes. Tasks reading
 // the datum deserialize this volume; tasks writing it serialize it.
-func (w *Workflow) SetSize(key string, bytes float64) { w.sizes[key] = bytes }
+func (w *Workflow) SetSize(key string, bytes float64) {
+	id := w.datumID(key)
+	w.sizes[id] = bytes
+	w.sized[id] = true
+}
 
 // Size returns the declared size of a datum (0 if unknown).
-func (w *Workflow) Size(key string) float64 { return w.sizes[key] }
+func (w *Workflow) Size(key string) float64 {
+	id, ok := w.Graph.Data().Lookup(key)
+	if !ok || int(id) >= len(w.sizes) {
+		return 0
+	}
+	return w.sizes[id]
+}
+
+// SizeByID returns the declared size of a datum by its interned ID — the
+// allocation-free lookup the simulation hot path uses.
+func (w *Workflow) SizeByID(id int32) float64 {
+	if int(id) >= len(w.sizes) {
+		return 0
+	}
+	return w.sizes[id]
+}
 
 // SetInput attaches a materialized block as workflow input data for the
 // local backend, and records its size for the sim backend.
 func (w *Workflow) SetInput(key string, b *dataset.Block) {
 	w.initial[key] = b
-	w.sizes[key] = float64(b.Bytes())
+	w.SetSize(key, float64(b.Bytes()))
 }
 
 // AddTask submits a task: the spec plus its data parameters. Dependencies
 // are inferred from parameter directions exactly as in PyCOMPSs.
 func (w *Workflow) AddTask(name string, spec TaskSpec, params ...dag.Param) *dag.Task {
-	return w.Graph.Add(name, spec, params...)
+	t := w.Graph.Add(name, nil, params...)
+	for len(w.specs) < t.ID { // tolerate tasks added via Graph.Add directly
+		w.specs = append(w.specs, TaskSpec{})
+	}
+	w.specs = append(w.specs, spec)
+	// Size tables must cover every interned datum for SizeByID.
+	for w.Graph.NumData() > len(w.sizes) {
+		w.sizes = append(w.sizes, 0)
+		w.sized = append(w.sized, false)
+	}
+	return t
 }
 
 // Spec returns the TaskSpec attached to a DAG task.
 func (w *Workflow) Spec(t *dag.Task) TaskSpec {
+	if t.ID < len(w.specs) {
+		return w.specs[t.ID]
+	}
 	s, ok := t.Payload.(TaskSpec)
 	if !ok {
 		return TaskSpec{}
@@ -97,9 +151,10 @@ func (w *Workflow) Spec(t *dag.Task) TaskSpec {
 // readBytes sums the serialized sizes of the task's read parameters.
 func (w *Workflow) readBytes(t *dag.Task) float64 {
 	var sum float64
-	for _, p := range t.Params {
+	ids := t.DataIDs()
+	for i, p := range t.Params {
 		if p.Reads() {
-			sum += w.sizes[p.Data]
+			sum += w.SizeByID(ids[i])
 		}
 	}
 	return sum
@@ -108,33 +163,47 @@ func (w *Workflow) readBytes(t *dag.Task) float64 {
 // writeBytes sums the serialized sizes of the task's written parameters.
 func (w *Workflow) writeBytes(t *dag.Task) float64 {
 	var sum float64
-	for _, p := range t.Params {
+	ids := t.DataIDs()
+	for i, p := range t.Params {
 		if p.Writes() {
-			sum += w.sizes[p.Data]
+			sum += w.SizeByID(ids[i])
 		}
 	}
 	return sum
 }
 
-// InputKeys returns, in first-use order, every datum that is read before
-// any task writes it — the workflow's external input data, which the
-// runtime pre-places in storage before execution.
-func (w *Workflow) InputKeys() []string {
-	written := make(map[string]bool)
-	seen := make(map[string]bool)
-	var out []string
+// InputIDs returns, in first-use order, the datum ID of every datum that
+// is read before any task writes it — the workflow's external input data,
+// which the runtime pre-places in storage before execution.
+func (w *Workflow) InputIDs() []int32 {
+	nd := w.Graph.NumData()
+	written := make([]bool, nd)
+	seen := make([]bool, nd)
+	var out []int32
 	for _, t := range w.Graph.Tasks() {
-		for _, p := range t.Params {
-			if p.Reads() && !written[p.Data] && !seen[p.Data] {
-				seen[p.Data] = true
-				out = append(out, p.Data)
+		ids := t.DataIDs()
+		for i, p := range t.Params {
+			if id := ids[i]; p.Reads() && !written[id] && !seen[id] {
+				seen[id] = true
+				out = append(out, id)
 			}
 		}
-		for _, p := range t.Params {
+		for i, p := range t.Params {
 			if p.Writes() {
-				written[p.Data] = true
+				written[ids[i]] = true
 			}
 		}
+	}
+	return out
+}
+
+// InputKeys returns the workflow's external input data as datum names, in
+// the same first-use order as InputIDs.
+func (w *Workflow) InputKeys() []string {
+	ids := w.InputIDs()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = w.Graph.Data().Name(id)
 	}
 	return out
 }
@@ -145,18 +214,22 @@ func (w *Workflow) Validate() error {
 	if err := w.Graph.Validate(); err != nil {
 		return fmt.Errorf("workflow %s: %w", w.Name, err)
 	}
-	missing := map[string]bool{}
+	missing := make([]bool, w.Graph.NumData())
+	nMissing := 0
 	for _, t := range w.Graph.Tasks() {
-		for _, p := range t.Params {
-			if _, ok := w.sizes[p.Data]; !ok {
-				missing[p.Data] = true
+		for _, id := range t.DataIDs() {
+			if (int(id) >= len(w.sized) || !w.sized[id]) && !missing[id] {
+				missing[id] = true
+				nMissing++
 			}
 		}
 	}
-	if len(missing) > 0 {
-		keys := make([]string, 0, len(missing))
-		for k := range missing {
-			keys = append(keys, k)
+	if nMissing > 0 {
+		keys := make([]string, 0, nMissing)
+		for id, m := range missing {
+			if m {
+				keys = append(keys, w.Graph.Data().Name(int32(id)))
+			}
 		}
 		sort.Strings(keys)
 		return fmt.Errorf("workflow %s: %d datum(s) without declared size, e.g. %q",

@@ -10,6 +10,10 @@
 // paper's observation that fine-grained workloads suffer scheduling
 // bottlenecks, and that the locality policy's pricier placement search
 // shows up at low task granularity.
+//
+// Data is identified by interned datum IDs (see dag.Interner): locality
+// decisions index flat per-node scratch instead of hashing strings, so a
+// placement decision allocates nothing in steady state.
 package sched
 
 import (
@@ -21,7 +25,8 @@ import (
 
 // DataLoc describes one input datum of a task for locality decisions.
 type DataLoc struct {
-	Key   string
+	// ID is the datum's interned ID (dag.Interner).
+	ID    int32
 	Bytes float64
 }
 
@@ -38,9 +43,9 @@ type View struct {
 	NumNodes int
 	// Load is the number of dispatched-but-unfinished tasks per node.
 	Load []int
-	// Locate resolves a datum to its holding node (local-disk storage);
-	// shared storage always reports no affinity.
-	Locate func(key string) (int, bool)
+	// Locate resolves a datum ID to its holding node (local-disk
+	// storage); shared storage always reports no affinity.
+	Locate func(id int32) (int, bool)
 }
 
 // leastLoaded returns the node with the fewest outstanding tasks, lowest
@@ -55,36 +60,55 @@ func (v *View) leastLoaded() int {
 	return best
 }
 
-// Queue is the ready-task queue, ordered by task generation order.
+// Queue is the ready-task queue, ordered by task generation order. It is
+// a ring buffer: PopFront recycles its slot instead of shrinking the
+// slice from the front, so the backing array stays bounded by the peak
+// queue depth instead of growing for the whole run.
 type Queue struct {
 	items []TaskRef
+	head  int
+	count int
 }
 
 // Push appends a newly ready task. Tasks become ready in generation order
 // among tasks freed at the same instant, so Push order is the paper's
 // "task generation order".
-func (q *Queue) Push(t TaskRef) { q.items = append(q.items, t) }
+func (q *Queue) Push(t TaskRef) {
+	if q.count == len(q.items) {
+		grown := make([]TaskRef, 2*len(q.items)+4)
+		for i := 0; i < q.count; i++ {
+			grown[i] = q.items[(q.head+i)%len(q.items)]
+		}
+		q.items, q.head = grown, 0
+	}
+	q.items[(q.head+q.count)%len(q.items)] = t
+	q.count++
+}
 
 // Len returns the number of queued tasks.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return q.count }
 
 // PopFront removes and returns the oldest ready task.
 func (q *Queue) PopFront() (TaskRef, bool) {
-	if len(q.items) == 0 {
+	if q.count == 0 {
 		return TaskRef{}, false
 	}
-	t := q.items[0]
-	q.items = q.items[1:]
+	t := q.items[q.head]
+	q.items[q.head] = TaskRef{} // release the Inputs backing for reuse
+	q.head = (q.head + 1) % len(q.items)
+	q.count--
 	return t, true
 }
 
 // PopBack removes and returns the newest ready task.
 func (q *Queue) PopBack() (TaskRef, bool) {
-	if len(q.items) == 0 {
+	if q.count == 0 {
 		return TaskRef{}, false
 	}
-	t := q.items[len(q.items)-1]
-	q.items = q.items[:len(q.items)-1]
+	i := (q.head + q.count - 1) % len(q.items)
+	t := q.items[i]
+	q.items[i] = TaskRef{}
+	q.count--
 	return t, true
 }
 
@@ -139,7 +163,7 @@ func New(p Policy, seed uint64) (Scheduler, error) {
 	case FIFO:
 		return fifoSched{}, nil
 	case Locality:
-		return localitySched{}, nil
+		return &localitySched{}, nil
 	case LIFO:
 		return lifoSched{}, nil
 	case Random:
@@ -163,11 +187,17 @@ func (lifoSched) Overhead(p costmodel.Params) float64 { return p.SchedFIFO }
 func (lifoSched) Next(q *Queue) (TaskRef, bool)       { return q.PopBack() }
 func (lifoSched) Place(t TaskRef, v *View) int        { return v.leastLoaded() }
 
-type localitySched struct{}
+// localitySched carries reusable per-node scratch so a placement decision
+// performs zero allocations: byNode tallies resident input bytes per node
+// and touched remembers which entries to reset afterwards.
+type localitySched struct {
+	byNode  []float64
+	touched []int
+}
 
-func (localitySched) Policy() Policy                      { return Locality }
-func (localitySched) Overhead(p costmodel.Params) float64 { return p.SchedLocality }
-func (localitySched) Next(q *Queue) (TaskRef, bool)       { return q.PopFront() }
+func (*localitySched) Policy() Policy                      { return Locality }
+func (*localitySched) Overhead(p costmodel.Params) float64 { return p.SchedLocality }
+func (*localitySched) Next(q *Queue) (TaskRef, bool)       { return q.PopFront() }
 
 // Place tallies input bytes per holding node and chooses the node with the
 // best locality score; without any located input (e.g. shared storage,
@@ -175,23 +205,32 @@ func (localitySched) Next(q *Queue) (TaskRef, bool)       { return q.PopFront() 
 // score discounts resident bytes by the node's outstanding load — COMPSs'
 // locality scheduler likewise prefers local data only among free
 // resources, so a data hotspot does not serialize the whole level.
-func (localitySched) Place(t TaskRef, v *View) int {
-	byNode := make(map[int]float64)
+func (l *localitySched) Place(t TaskRef, v *View) int {
+	if len(l.byNode) < v.NumNodes {
+		l.byNode = make([]float64, v.NumNodes)
+	}
 	for _, in := range t.Inputs {
-		if n, ok := v.Locate(in.Key); ok && n >= 0 {
-			byNode[n] += in.Bytes
+		if n, ok := v.Locate(in.ID); ok && n >= 0 {
+			if l.byNode[n] == 0 {
+				l.touched = append(l.touched, n)
+			}
+			l.byNode[n] += in.Bytes
 		}
 	}
 	best, bestScore := -1, 0.0
-	for n := 0; n < v.NumNodes; n++ {
-		if b, ok := byNode[n]; ok {
-			// Strictly-greater keeps the lowest node ID on ties for
-			// determinism.
-			if score := b / float64(1+v.Load[n]); score > bestScore {
-				best, bestScore = n, score
-			}
+	for _, n := range l.touched {
+		// Strictly-greater keeps the lowest node ID on ties for
+		// determinism — touched holds distinct nodes in first-tally
+		// order, so compare against the lowest-ID candidate explicitly.
+		if score := l.byNode[n] / float64(1+v.Load[n]); score > bestScore ||
+			(score == bestScore && best >= 0 && n < best) {
+			best, bestScore = n, score
 		}
 	}
+	for _, n := range l.touched {
+		l.byNode[n] = 0
+	}
+	l.touched = l.touched[:0]
 	if best < 0 {
 		return v.leastLoaded()
 	}

@@ -10,7 +10,7 @@ func view(load ...int) *View {
 	return &View{
 		NumNodes: len(load),
 		Load:     load,
-		Locate:   func(string) (int, bool) { return -1, false },
+		Locate:   func(int32) (int, bool) { return -1, false },
 	}
 }
 
@@ -71,17 +71,17 @@ func TestLIFOOrder(t *testing.T) {
 
 func TestLocalityPlacement(t *testing.T) {
 	s, _ := New(Locality, 0)
-	locs := map[string]int{"a": 2, "b": 2, "c": 0}
+	locs := map[int32]int{0: 2, 1: 2, 2: 0}
 	v := &View{
 		NumNodes: 4,
 		Load:     []int{0, 0, 0, 0},
-		Locate: func(k string) (int, bool) {
-			n, ok := locs[k]
+		Locate: func(id int32) (int, bool) {
+			n, ok := locs[id]
 			return n, ok
 		},
 	}
 	task := TaskRef{Inputs: []DataLoc{
-		{Key: "a", Bytes: 100}, {Key: "b", Bytes: 100}, {Key: "c", Bytes: 150},
+		{ID: 0, Bytes: 100}, {ID: 1, Bytes: 100}, {ID: 2, Bytes: 150},
 	}}
 	// Node 2 holds 200 bytes vs node 0's 150.
 	if n := s.Place(task, v); n != 2 {

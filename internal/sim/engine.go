@@ -70,15 +70,26 @@ func (ev Event) At() float64 {
 	return ev.n.at
 }
 
+// heapEntry is one scheduled event with its ordering key inlined: sift
+// comparisons read (at, seq) straight from the heap's backing array instead
+// of dereferencing two event pointers per comparison — the event-heap is
+// the hottest data structure in the simulator and the pointer chases were
+// its dominant cost.
+type heapEntry struct {
+	at  float64
+	seq uint64
+	n   *event
+}
+
 // eventHeap is a 4-ary min-heap ordered by (at, seq), implemented directly
 // on the concrete element type: no container/heap interface dispatch, and
 // sift operations move elements with single assignments instead of swaps.
 // The shallower 4-ary shape trades a few extra comparisons per level for
 // half the levels and better cache behaviour on the hot push/pop path.
-type eventHeap []*event
+type eventHeap []heapEntry
 
 // before reports whether a fires strictly before b.
-func (h eventHeap) before(a, b *event) bool {
+func before(a, b heapEntry) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -86,23 +97,23 @@ func (h eventHeap) before(a, b *event) bool {
 }
 
 func (h eventHeap) up(i int) {
-	n := h[i]
+	e := h[i]
 	for i > 0 {
 		parent := (i - 1) >> 2
-		if !h.before(n, h[parent]) {
+		if !before(e, h[parent]) {
 			break
 		}
 		h[i] = h[parent]
-		h[i].index = i
+		h[i].n.index = i
 		i = parent
 	}
-	h[i] = n
-	n.index = i
+	h[i] = e
+	e.n.index = i
 }
 
 // down sifts h[i] toward the leaves; it reports whether the element moved.
 func (h eventHeap) down(i int) bool {
-	n := h[i]
+	e := h[i]
 	start := i
 	sz := len(h)
 	for {
@@ -116,44 +127,46 @@ func (h eventHeap) down(i int) bool {
 			last = sz
 		}
 		for c := first + 1; c < last; c++ {
-			if h.before(h[c], h[min]) {
+			if before(h[c], h[min]) {
 				min = c
 			}
 		}
-		if !h.before(h[min], n) {
+		if !before(h[min], e) {
 			break
 		}
 		h[i] = h[min]
-		h[i].index = i
+		h[i].n.index = i
 		i = min
 	}
-	h[i] = n
-	n.index = i
+	h[i] = e
+	e.n.index = i
 	return i != start
 }
 
 func (h *eventHeap) push(n *event) {
-	*h = append(*h, n)
+	*h = append(*h, heapEntry{at: n.at, seq: n.seq, n: n})
 	h.up(len(*h) - 1)
 }
 
 func (h *eventHeap) pop() *event {
 	old := *h
-	root := old[0]
+	root := old[0].n
 	last := len(old) - 1
-	n := old[last]
-	old[last] = nil
+	e := old[last]
+	old[last] = heapEntry{}
 	*h = old[:last]
 	if last > 0 {
-		(*h)[0] = n
+		(*h)[0] = e
 		(*h).down(0)
 	}
 	root.index = -1
 	return root
 }
 
-// fix repairs the heap after the element at index i changed its key.
+// fix repairs the heap after the element at index i changed its key,
+// refreshing the inlined key from the event first.
 func (h eventHeap) fix(i int) {
+	h[i].at, h[i].seq = h[i].n.at, h[i].n.seq
 	if !h.down(i) {
 		h.up(i)
 	}
@@ -163,15 +176,17 @@ func (h eventHeap) fix(i int) {
 func (h *eventHeap) remove(i int) {
 	old := *h
 	last := len(old) - 1
-	removed := old[i]
+	removed := old[i].n
 	if i != last {
 		old[i] = old[last]
-		old[i].index = i
+		old[i].n.index = i
 	}
-	old[last] = nil
+	old[last] = heapEntry{}
 	*h = old[:last]
 	if i < last {
-		h.fix(i)
+		if !old[:last].down(i) {
+			old[:last].up(i)
+		}
 	}
 	removed.index = -1
 }
@@ -181,43 +196,42 @@ func (h *eventHeap) remove(i int) {
 //
 // # Handoff protocol
 //
-// The engine runs processes as coroutines over goroutines with a single
-// "baton" of control: at any instant exactly one goroutine — the baton
-// holder — is running, and it is the one executing the event-dispatch loop
-// (dispatch). Plain callback events run inline on the holder's goroutine.
-// When the next event belongs to a process, the holder wakes that process
-// with one channel send (the baton handoff) and then blocks until its own
-// wake-up event is dispatched by a later holder. A blocking primitive
-// (Wait, Server.Acquire, Link.Transfer) therefore costs a single
-// send/receive pair per park/resume, and the simulation stays deterministic
-// regardless of GOMAXPROCS.
+// The engine runs processes as coroutines: Run's goroutine executes the
+// event-dispatch loop, running plain callback events inline; when the next
+// event belongs to a process, the loop switches control into that process's
+// coroutine directly (iter.Pull's coroutine transfer — a goroutine switch
+// that bypasses the Go scheduler entirely) and gets control back the moment
+// the process suspends or finishes. A blocking primitive (Wait,
+// Server.Acquire, Link.Transfer) therefore costs a single switch-out/
+// switch-in pair per park/resume — no channel operations, no scheduler
+// wake-ups — and the simulation stays deterministic regardless of
+// GOMAXPROCS because exactly one goroutine is ever runnable.
 type Engine struct {
 	now    float64
 	events eventHeap
 	seq    uint64
 
-	free []*event // recycled pool-owned event nodes
-
-	// done is signalled by the baton holder that drains the event queue (or
-	// hits a corrupt-time error) while Run's goroutine is parked.
-	done chan struct{}
+	free     []*event // recycled pool-owned event nodes
+	nodeSlab []event  // current node slab; chunks never move once handed out
 
 	err error // sticky corrupt-simulation error discovered during dispatch
 
 	liveProcs   int // started and not yet finished
-	parkedProcs int // blocked on a resume channel
+	parkedProcs int // suspended awaiting a resume event
 
-	// freeProcs holds finished Procs whose goroutines are parked awaiting
-	// reuse; Go pops from here before allocating. Run drains the list (and
-	// stops the goroutines) on exit.
+	// freeProcs holds finished Procs awaiting reuse; Go pops from here
+	// before allocating. allProcs holds every Proc ever created on this
+	// engine, so Run can tear every coroutine down on exit — including
+	// processes left suspended mid-task by a deadlock.
 	freeProcs []*Proc
+	allProcs  []*Proc
 
 	ran bool
 }
 
 // New returns an empty engine with the clock at 0.
 func New() *Engine {
-	return &Engine{done: make(chan struct{})}
+	return &Engine{}
 }
 
 // Now returns the current virtual time in seconds.
@@ -232,7 +246,11 @@ func (e *Engine) checkDelay(delay float64) {
 	}
 }
 
-// getNode returns a pool-owned node ready for scheduling.
+// getNode returns a pool-owned node ready for scheduling. Fresh nodes are
+// carved from fixed-capacity slab chunks (a chunk is abandoned, not grown,
+// when full — its nodes stay alive through the free list and the heap), so
+// the pool warming up costs one allocation per chunk rather than one per
+// node.
 func (e *Engine) getNode() *event {
 	if k := len(e.free); k > 0 {
 		n := e.free[k-1]
@@ -240,7 +258,14 @@ func (e *Engine) getNode() *event {
 		e.free = e.free[:k-1]
 		return n
 	}
-	return &event{eng: e, index: -1}
+	if len(e.nodeSlab) == cap(e.nodeSlab) {
+		e.nodeSlab = make([]event, 0, 256)
+	}
+	e.nodeSlab = e.nodeSlab[:len(e.nodeSlab)+1]
+	n := &e.nodeSlab[len(e.nodeSlab)-1]
+	n.eng = e
+	n.index = -1
+	return n
 }
 
 // putNode recycles a fired pool-owned node. Bumping the generation
@@ -311,21 +336,23 @@ func (e *Engine) Reschedule(ev Event, delay float64) {
 	e.fixNode(n, delay)
 }
 
-// dispatch is the event loop run by the current baton holder: it pops
-// events, advances the clock, and runs callback events inline. It returns
-// the process the next handoff event belongs to, or nil when the queue is
-// exhausted (or the simulation is corrupt; see e.err) and the holder must
-// end the simulation.
-func (e *Engine) dispatch() *Proc {
+// dispatch is the event loop: it pops events, advances the clock, runs
+// callback events inline and switches control into process coroutines for
+// handoff events. It returns when the queue is exhausted or the simulation
+// is corrupt (see e.err).
+func (e *Engine) dispatch() {
 	for len(e.events) > 0 {
 		n := e.events.pop()
 		if n.at < e.now {
 			e.err = fmt.Errorf("sim: time went backwards: %v < %v", n.at, e.now)
-			return nil
+			return
 		}
 		e.now = n.at
 		if n.proc != nil {
-			return n.proc
+			// Control transfers into the process and comes back the moment
+			// it suspends (Wait, park) or finishes.
+			n.proc.resume()
+			continue
 		}
 		fn := n.fn
 		if !n.owned {
@@ -333,7 +360,6 @@ func (e *Engine) dispatch() *Proc {
 		}
 		fn()
 	}
-	return nil
 }
 
 // Run executes events until the queue drains. It returns an error if the
@@ -345,28 +371,35 @@ func (e *Engine) Run() error {
 		return fmt.Errorf("sim: Run called twice")
 	}
 	e.ran = true
-	if next := e.dispatch(); next != nil {
-		// Hand the baton to the first process and park this goroutine until
-		// some baton holder finishes the simulation.
-		next.begin()
-		<-e.done
-	}
-	e.stopPooledProcs()
+	e.dispatch()
+	deadlocked := e.parkedProcs
+	e.stopProcs()
 	if e.err != nil {
 		return e.err
 	}
-	if e.parkedProcs > 0 {
+	if deadlocked > 0 {
 		return fmt.Errorf("sim: deadlock: %d process(es) parked with no pending events at t=%v",
-			e.parkedProcs, e.now)
+			deadlocked, e.now)
 	}
 	return nil
 }
 
-// stopPooledProcs terminates the goroutines of pooled (finished, reusable)
-// processes when the simulation ends, so an engine never leaks goroutines.
-func (e *Engine) stopPooledProcs() {
-	for i, p := range e.freeProcs {
-		close(p.resume) // wakes p.main with fn == nil: the goroutine exits
+// stopProcs releases every process coroutine created on or adopted by this
+// engine when the simulation ends: idle ones are donated to the global
+// coroutine pool for the next engine (overflow beyond the pool cap is
+// stopped), while ones left suspended mid-task by a deadlock are stopped,
+// unwinding via procStopped. Beyond the bounded pool, an engine leaks no
+// goroutines.
+func (e *Engine) stopProcs() {
+	for i, p := range e.allProcs {
+		if !p.pooled {
+			p.stop()
+		}
+		e.allProcs[i] = nil
+	}
+	e.allProcs = e.allProcs[:0]
+	donateProcs(e.freeProcs)
+	for i := range e.freeProcs {
 		e.freeProcs[i] = nil
 	}
 	e.freeProcs = e.freeProcs[:0]

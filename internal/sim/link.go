@@ -51,6 +51,8 @@ type flow struct {
 	remaining float64
 	total     float64
 	proc      *Proc
+	link      *Link
+	join      event // owned node: fires when the startup latency elapses
 }
 
 // NewLink creates a link with the given bandwidth (bytes/second) and
@@ -64,6 +66,11 @@ func NewLink(e *Engine, name string, bandwidth, latency float64) *Link {
 		panic(fmt.Sprintf("sim: link %q with invalid latency %v", name, latency))
 	}
 	l := &Link{eng: e, name: name, bw: bandwidth, latency: latency}
+	// Pre-size for a few dozen concurrent flows: links on the simulated
+	// hot path (the shared storage backend) see whole task waves at once,
+	// and growing these under load is measurable allocator traffic.
+	l.active = make([]*flow, 0, 32)
+	l.freeFlows = make([]*flow, 0, 32)
 	l.next.eng = e
 	l.next.index = -1
 	l.next.owned = true
@@ -131,7 +138,9 @@ func (l *Link) advance() {
 	l.lastUpdate = l.eng.now
 }
 
-// getFlow/putFlow recycle flow structs across transfers.
+// getFlow/putFlow recycle flow structs across transfers. A flow's join
+// node and its callback are bound once at creation and reused for the
+// struct's whole pooled lifetime.
 func (l *Link) getFlow(bytes float64, p *Proc) *flow {
 	if k := len(l.freeFlows); k > 0 {
 		f := l.freeFlows[k-1]
@@ -140,7 +149,12 @@ func (l *Link) getFlow(bytes float64, p *Proc) *flow {
 		f.remaining, f.total, f.proc = bytes, bytes, p
 		return f
 	}
-	return &flow{remaining: bytes, total: bytes, proc: p}
+	f := &flow{remaining: bytes, total: bytes, proc: p, link: l}
+	f.join.eng = l.eng
+	f.join.index = -1
+	f.join.owned = true
+	f.join.fn = f.joinLatent
+	return f
 }
 
 func (l *Link) putFlow(f *flow) {
@@ -201,25 +215,10 @@ func (l *Link) complete() {
 	}
 }
 
-// Transfer moves bytes over the link on behalf of process p, blocking in
-// virtual time until the transfer completes. Concurrent transfers share the
-// bandwidth equally. A zero-byte transfer pays only the latency.
-func (l *Link) Transfer(p *Proc, bytes float64) {
-	if bytes < 0 || math.IsNaN(bytes) {
-		panic(fmt.Sprintf("sim: transfer of %v bytes on link %q", bytes, l.name))
-	}
-	if l.latency > 0 {
-		l.occupy()
-		p.Wait(l.latency)
-		l.vacate()
-	}
-	if bytes == 0 {
-		l.transfers++
-		return
-	}
+// joinNow adds a flow to the shared pipe at the current instant.
+func (l *Link) joinNow(f *flow) {
 	l.advance()
 	l.occupy()
-	f := l.getFlow(bytes, p)
 	l.active = append(l.active, f)
 	// Incremental min tracking: the new flow preempts the current target
 	// only if it finishes strictly earlier; either way the shared rate
@@ -229,5 +228,48 @@ func (l *Link) Transfer(p *Proc, bytes float64) {
 	} else {
 		l.retarget(l.target)
 	}
+}
+
+// joinLatent fires when a flow's startup latency elapses: the latency
+// occupancy converts into flow occupancy and the flow joins the pipe. It
+// runs inline on the dispatch goroutine, so the latency leg costs no
+// process handoff.
+func (f *flow) joinLatent() {
+	f.link.vacate()
+	f.link.joinNow(f)
+}
+
+// Transfer moves bytes over the link on behalf of process p, blocking in
+// virtual time until the transfer completes. Concurrent transfers share the
+// bandwidth equally. A zero-byte transfer pays only the latency.
+//
+// On a link with startup latency the flow's join is a scheduled inline
+// event rather than a process wake-up, so the calling process parks exactly
+// once per transfer — halving the goroutine handoffs on the hottest
+// substrate path. The join event receives the same schedule position the
+// process's own latency wake-up would have had, so event ordering (and with
+// it the simulation's determinism) is unchanged.
+func (l *Link) Transfer(p *Proc, bytes float64) {
+	if bytes < 0 || math.IsNaN(bytes) {
+		panic(fmt.Sprintf("sim: transfer of %v bytes on link %q", bytes, l.name))
+	}
+	if l.latency > 0 {
+		l.occupy()
+		if bytes == 0 {
+			p.Wait(l.latency)
+			l.vacate()
+			l.transfers++
+			return
+		}
+		f := l.getFlow(bytes, p)
+		l.eng.schedNode(&f.join, l.latency)
+		p.park()
+		return
+	}
+	if bytes == 0 {
+		l.transfers++
+		return
+	}
+	l.joinNow(l.getFlow(bytes, p))
 	p.park()
 }

@@ -1,84 +1,158 @@
 package sim
 
+import (
+	"iter"
+	"sync"
+)
+
 // Proc is a simulated process: a sequential function executing in virtual
 // time. Procs are created with Engine.Go and may block on Wait,
 // Server.Acquire and Link.Transfer. All Proc methods must be called from the
 // process's own goroutine.
 //
-// Procs (and their goroutines and channels) are pooled by the engine: when
-// a process function returns, the Proc parks in the engine's free list and
-// the next Engine.Go reuses it — its resume channel, its pre-bound resume
-// event node, and its warmed-up goroutine stack — so spawning a process in
-// steady state allocates nothing and pays no goroutine-creation cost.
+// Procs are coroutines over the engine's dispatch loop: suspending and
+// resuming a process is a direct goroutine switch (iter.Pull's coroutine
+// machinery), not a channel rendezvous through the Go scheduler. Procs are
+// pooled by the engine: when a process function returns, the Proc parks in
+// the engine's free list and the next Engine.Go reuses it — its coroutine,
+// its pre-bound resume event node, and its warmed-up goroutine stack — so
+// spawning a process in steady state allocates nothing and pays no
+// goroutine-creation cost.
 type Proc struct {
-	eng     *Engine
-	name    string
-	fn      func(*Proc)
-	resume  chan struct{}
-	ev      event // pre-bound resume/start node, reused across park cycles
-	spawned bool  // goroutine exists (running, parked, or pooled)
+	eng  *Engine
+	name string
+	fn   func(*Proc)
+	ev   event // pre-bound resume/start node, reused across park cycles
+
+	// Coroutine plumbing, bound once per Proc: resume transfers control
+	// into the process (from the dispatch loop only), yield transfers it
+	// back out, stop tears the coroutine down.
+	resume func() (struct{}, bool)
+	stop   func()
+	yield  func(struct{}) bool
+
+	pooled bool // suspended at its reuse point (in freeProcs), not mid-task
+}
+
+// procStopped is the unwind sentinel thrown through a suspended process
+// when the engine tears its coroutine down mid-task (deadlocked processes
+// at the end of Run). It is recovered at the coroutine's top level.
+type procStopped struct{}
+
+// procPool recycles idle process coroutines across engines: spinning up a
+// coroutine costs several allocations (iter.Pull's internal state), so an
+// engine finishing its run donates its pooled Procs here and the next
+// engine adopts them instead of creating fresh ones. Pooled coroutines sit
+// suspended at their reuse point; the pool is capped so at most
+// procPoolCap idle goroutines exist process-wide, and overflow coroutines
+// are stopped outright. The mutex both serializes concurrent engines and
+// publishes the donated Proc's state to its adopter.
+var procPool struct {
+	mu   sync.Mutex
+	free []*Proc
+}
+
+const procPoolCap = 1024
+
+// adoptProc transfers a pooled coroutine from the global pool to engine e,
+// or returns nil when the pool is empty.
+func adoptProc(e *Engine) *Proc {
+	procPool.mu.Lock()
+	var p *Proc
+	if k := len(procPool.free); k > 0 {
+		p = procPool.free[k-1]
+		procPool.free[k-1] = nil
+		procPool.free = procPool.free[:k-1]
+	}
+	procPool.mu.Unlock()
+	if p != nil {
+		p.eng = e
+		p.ev.eng = e
+		e.allProcs = append(e.allProcs, p)
+	}
+	return p
+}
+
+// donateProcs moves an exiting engine's idle Procs into the global pool,
+// stopping any overflow beyond the pool cap.
+func donateProcs(procs []*Proc) {
+	procPool.mu.Lock()
+	room := procPoolCap - len(procPool.free)
+	if room > len(procs) {
+		room = len(procs)
+	}
+	for _, p := range procs[:room] {
+		p.eng = nil
+		p.ev.eng = nil
+		procPool.free = append(procPool.free, p)
+	}
+	procPool.mu.Unlock()
+	for _, p := range procs[room:] {
+		p.stop()
+	}
 }
 
 // Go starts fn as a simulated process at the current virtual time. The name
 // is used in diagnostics only. Go may be called both from outside Run (to
 // seed the simulation) and from a running process or event callback.
 func (e *Engine) Go(name string, fn func(p *Proc)) {
+	e.GoAfter(name, 0, fn)
+}
+
+// GoAfter starts fn as a simulated process after delay seconds of virtual
+// time. The process's start node takes its schedule position now, so among
+// same-instant events it orders exactly where a Wait of the same delay
+// issued at this point would.
+func (e *Engine) GoAfter(name string, delay float64, fn func(p *Proc)) {
 	var p *Proc
 	if k := len(e.freeProcs); k > 0 {
 		p = e.freeProcs[k-1]
 		e.freeProcs[k-1] = nil
 		e.freeProcs = e.freeProcs[:k-1]
-	} else {
-		p = &Proc{eng: e, resume: make(chan struct{})}
+	} else if p = adoptProc(e); p == nil {
+		p = &Proc{eng: e}
 		p.ev.eng = e
 		p.ev.index = -1
 		p.ev.proc = p
 		p.ev.owned = true
+		p.resume, p.stop = iter.Pull(p.run)
+		e.allProcs = append(e.allProcs, p)
 	}
+	p.pooled = false
 	p.name, p.fn = name, fn
 	e.liveProcs++
-	e.schedNode(&p.ev, 0)
+	e.schedNode(&p.ev, delay)
 }
 
-// begin transfers the baton to p: a fresh process gets its goroutine here
-// (the goroutine starts running the process function immediately); a parked
-// or pooled one is woken with a single channel send. The caller must block
-// right after — on its own resume channel or on engine.done — so exactly
-// one goroutine keeps running.
-func (p *Proc) begin() {
-	if p.spawned {
-		p.resume <- struct{}{}
-	} else {
-		p.spawned = true
-		go p.main()
-	}
-}
-
-// main is the process goroutine: it runs the current function; when the
-// function returns, the process keeps the baton, so it continues dispatching
-// events, pools itself once the baton moves on, and then sleeps until the
-// engine either assigns it new work (pool reuse via Go) or closes the resume
-// channel (simulation over).
-func (p *Proc) main() {
-	e := p.eng
+// run is the process coroutine body: it runs the current function; when the
+// function returns the Proc pools itself and suspends until the engine
+// either assigns it new work (pool reuse via Go) or stops the coroutine
+// (simulation over). A stop that lands while the process is suspended
+// mid-task (inside suspend) unwinds the process function with a procStopped
+// panic, recovered here.
+func (p *Proc) run(yield func(struct{}) bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(procStopped); !ok {
+				panic(r)
+			}
+		}
+	}()
+	p.yield = yield
 	for {
 		p.fn(p)
+		// p.eng is re-read each cycle: a pooled coroutine may be adopted by
+		// a different engine between runs.
+		e := p.eng
 		e.liveProcs--
 		p.fn = nil
 		p.name = ""
-		next := e.dispatch()
-		// Pool p before the handoff: p's goroutine touches no engine state
-		// after this point, and a dispatched Go may immediately reuse it.
+		p.pooled = true
 		e.freeProcs = append(e.freeProcs, p)
-		if next != nil {
-			next.begin()
-		} else {
-			e.done <- struct{}{} // simulation over; wake Run
-		}
-		<-p.resume // reused by a later Go, or woken by close
-		if p.fn == nil {
+		if !yield(struct{}{}) {
 			return // engine shut down the pool
 		}
+		// Resumed by a later Go with a fresh fn.
 	}
 }
 
@@ -91,42 +165,25 @@ func (p *Proc) Name() string { return p.name }
 // Now returns the current virtual time.
 func (p *Proc) Now() float64 { return p.eng.now }
 
-// waitTurn hands the baton onward until this process's own wake-up arrives.
-// It must only be called with a wake-up already arranged: the process's
-// resume node scheduled (Wait, unpark) or a queue registration that will
-// eventually unpark it, otherwise Run reports a deadlock.
-//
-// The process keeps dispatching events inline; when the next event belongs
-// to another process it wakes that process (one channel send) and blocks
-// until a later baton holder dispatches this process's own resume node.
-func (p *Proc) waitTurn() {
-	e := p.eng
-	next := e.dispatch()
-	if next == p {
-		return // our own node came up: keep running, keep the baton
-	}
-	if next != nil {
-		next.begin()
-		<-p.resume // a later holder dispatched our node
-		return
-	}
-	// Queue drained (deadlock: we are still mid-task) or corrupt time.
-	// End the simulation and abandon this goroutine, exactly as a parked
-	// process with no wake-up would be abandoned.
-	e.done <- struct{}{}
-	<-p.resume // never signalled: parks forever
-}
-
-// park blocks the process until another event resumes it via unpark.
-func (p *Proc) park() {
+// suspend returns control to the dispatch loop until this process's own
+// wake-up arrives. It must only be called with a wake-up already arranged:
+// the process's resume node scheduled (Wait, unpark) or a queue
+// registration that will eventually unpark it, otherwise Run reports a
+// deadlock.
+func (p *Proc) suspend() {
 	e := p.eng
 	e.parkedProcs++
-	p.waitTurn()
+	if !p.yield(struct{}{}) {
+		panic(procStopped{})
+	}
 	e.parkedProcs--
 }
 
+// park blocks the process until another event resumes it via unpark.
+func (p *Proc) park() { p.suspend() }
+
 // unpark schedules the process's pre-bound resume node at the current
-// instant; when it is dispatched, the baton holder transfers control to the
+// instant; when it is dispatched, the dispatch loop switches control to the
 // parked process directly. It must be called from the engine side (an event
 // callback) or from another process; never from the parked process itself.
 // A parked process has no pending node (Wait's node fired before it
@@ -139,9 +196,6 @@ func (p *Proc) unpark() {
 // non-negative; zero is allowed and yields to other events scheduled at the
 // same instant.
 func (p *Proc) Wait(d float64) {
-	e := p.eng
-	e.schedNode(&p.ev, d)
-	e.parkedProcs++
-	p.waitTurn()
-	e.parkedProcs--
+	p.eng.schedNode(&p.ev, d)
+	p.suspend()
 }

@@ -133,6 +133,84 @@ func (s *Server) BusyTime() float64 {
 	return s.busyInt + float64(s.inUse)*(s.eng.now-s.lastChange)
 }
 
+// ServiceLine is a capacity-1 FIFO dispatch gate: anonymous requests line
+// up for the station, and each grant runs the line's onGrant callback
+// engine-side at the grant instant. Unlike Server, a request carries no
+// process — the holder's work is whatever onGrant schedules (typically a
+// process started with GoAfter once the decision's service time elapses) —
+// so queueing for the station costs no goroutine handoffs at all. End
+// passes the station to the next request via a grant event at the current
+// instant: the exact schedule position a Server's wake-up of that waiter
+// would occupy, so event ordering matches the Acquire/Release protocol it
+// replaces.
+type ServiceLine struct {
+	eng     *Engine
+	name    string
+	onGrant func()
+	busy    bool
+	waiters int
+
+	grantFn  func() // pre-bound grant, so scheduling one allocates nothing
+	acquired uint64
+}
+
+// NewServiceLine creates an idle service line.
+func NewServiceLine(e *Engine, name string) *ServiceLine {
+	s := &ServiceLine{eng: e, name: name}
+	s.grantFn = s.grant
+	return s
+}
+
+// Name returns the line's diagnostic name.
+func (s *ServiceLine) Name() string { return s.name }
+
+// Capacity returns 1: a service line serves one request at a time.
+func (s *ServiceLine) Capacity() int { return 1 }
+
+// QueueLen returns the number of requests waiting for the station.
+func (s *ServiceLine) QueueLen() int { return s.waiters }
+
+// Acquired returns the total number of granted requests so far.
+func (s *ServiceLine) Acquired() uint64 { return s.acquired }
+
+// SetOnGrant installs the grant-instant callback. It must be set before the
+// simulation runs and is shared by every request.
+func (s *ServiceLine) SetOnGrant(fn func()) { s.onGrant = fn }
+
+// Request asks for the station. If it is free the grant happens
+// immediately (onGrant runs inline); otherwise the request queues and is
+// granted in arrival order as holders call End.
+func (s *ServiceLine) Request() {
+	if s.busy {
+		s.waiters++
+		return
+	}
+	s.busy = true
+	s.grant()
+}
+
+// grant hands the station to the oldest outstanding request.
+func (s *ServiceLine) grant() {
+	s.acquired++
+	if s.onGrant != nil {
+		s.onGrant()
+	}
+}
+
+// End releases the station. With requests queued it is handed directly to
+// the oldest one via a grant event at the current instant.
+func (s *ServiceLine) End() {
+	if !s.busy {
+		panic(fmt.Sprintf("sim: End of idle service line %q", s.name))
+	}
+	if s.waiters > 0 {
+		s.waiters--
+		s.eng.Schedule(0, s.grantFn)
+		return // busy stays true: the station moved, it never went idle
+	}
+	s.busy = false
+}
+
 // Utilization returns the mean fraction of capacity in use over [0, now].
 // It returns 0 before any virtual time has elapsed.
 func (s *Server) Utilization() float64 {

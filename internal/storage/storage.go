@@ -4,6 +4,11 @@
 // cluster's contended links, plus the block-location metadata the
 // data-locality scheduler consults.
 //
+// Blocks are identified by their interned datum ID (see dag.Interner), so
+// location metadata lives in flat slices indexed by ID — the per-access
+// lookup the scheduler and the task lifecycle perform is a bounds check
+// and a load, not a string hash.
+//
 // With local disks, a block read from the node that holds it costs only
 // that node's disk; a remote read streams disk → network (owner's NIC and
 // reader's NIC both traversed). With the shared architecture, every access
@@ -43,52 +48,66 @@ type System interface {
 	Arch() Architecture
 	// Place records the initial location of a block (Local) or its
 	// presence on the backend (Shared). Node is ignored for Shared.
-	Place(key string, node int)
+	Place(id int32, node int)
 	// Location returns the node holding the block and true, or -1 and
 	// false when the block has no node affinity (shared storage or
-	// unknown key). The data-locality scheduler uses this.
-	Location(key string) (int, bool)
+	// unknown block). The data-locality scheduler uses this.
+	Location(id int32) (int, bool)
 	// Read streams the block's bytes to the reader node, blocking p in
 	// virtual time, and returns the I/O duration.
-	Read(p *sim.Proc, reader *cluster.Node, key string, bytes float64) float64
+	Read(p *sim.Proc, reader *cluster.Node, id int32, bytes float64) float64
 	// Write streams bytes from the writer node to storage, records the
 	// new block location, and returns the I/O duration.
-	Write(p *sim.Proc, writer *cluster.Node, key string, bytes float64) float64
+	Write(p *sim.Proc, writer *cluster.Node, id int32, bytes float64) float64
 }
 
 // LocalDisks is the node-local architecture.
 type LocalDisks struct {
 	c   *cluster.Cluster
-	loc map[string]int
+	loc []int32 // datum ID -> holding node, -1 unknown
 }
 
-// NewLocal creates a local-disk system over the cluster.
-func NewLocal(c *cluster.Cluster) *LocalDisks {
-	return &LocalDisks{c: c, loc: make(map[string]int)}
+// NewLocal creates a local-disk system over the cluster, pre-sized for
+// numData distinct datum IDs (more are accommodated on demand).
+func NewLocal(c *cluster.Cluster, numData int) *LocalDisks {
+	l := &LocalDisks{c: c, loc: make([]int32, numData)}
+	for i := range l.loc {
+		l.loc[i] = -1
+	}
+	return l
+}
+
+// grow extends the location table to cover id.
+func (l *LocalDisks) grow(id int32) {
+	for int(id) >= len(l.loc) {
+		l.loc = append(l.loc, -1)
+	}
 }
 
 // Arch implements System.
 func (l *LocalDisks) Arch() Architecture { return Local }
 
 // Place implements System.
-func (l *LocalDisks) Place(key string, node int) { l.loc[key] = node }
+func (l *LocalDisks) Place(id int32, node int) {
+	l.grow(id)
+	l.loc[id] = int32(node)
+}
 
 // Location implements System.
-func (l *LocalDisks) Location(key string) (int, bool) {
-	n, ok := l.loc[key]
-	if !ok {
+func (l *LocalDisks) Location(id int32) (int, bool) {
+	if int(id) >= len(l.loc) || l.loc[id] < 0 {
 		return -1, false
 	}
-	return n, true
+	return int(l.loc[id]), true
 }
 
 // Read implements System. Local hits cost the node disk; remote reads
 // stream through the owner's disk, the owner's NIC and the reader's NIC.
-func (l *LocalDisks) Read(p *sim.Proc, reader *cluster.Node, key string, bytes float64) float64 {
+func (l *LocalDisks) Read(p *sim.Proc, reader *cluster.Node, id int32, bytes float64) float64 {
 	start := p.Now()
-	owner, ok := l.loc[key]
-	if !ok {
-		owner = reader.ID // unplaced data is treated as local scratch
+	owner := reader.ID // unplaced data is treated as local scratch
+	if n, ok := l.Location(id); ok {
+		owner = n
 	}
 	if owner == reader.ID {
 		reader.Disk.Transfer(p, bytes)
@@ -103,37 +122,49 @@ func (l *LocalDisks) Read(p *sim.Proc, reader *cluster.Node, key string, bytes f
 
 // Write implements System. Output blocks land on the writer's local disk,
 // which is what makes locality scheduling matter downstream.
-func (l *LocalDisks) Write(p *sim.Proc, writer *cluster.Node, key string, bytes float64) float64 {
+func (l *LocalDisks) Write(p *sim.Proc, writer *cluster.Node, id int32, bytes float64) float64 {
 	start := p.Now()
 	writer.Disk.Transfer(p, bytes)
-	l.loc[key] = writer.ID
+	l.grow(id)
+	l.loc[id] = int32(writer.ID)
 	return p.Now() - start
 }
 
 // SharedDisk is the GPFS-style decoupled architecture.
 type SharedDisk struct {
 	c     *cluster.Cluster
-	known map[string]bool
+	known []bool // datum ID -> present on the backend
 }
 
-// NewShared creates a shared-disk system over the cluster.
-func NewShared(c *cluster.Cluster) *SharedDisk {
-	return &SharedDisk{c: c, known: make(map[string]bool)}
+// NewShared creates a shared-disk system over the cluster, pre-sized for
+// numData distinct datum IDs.
+func NewShared(c *cluster.Cluster, numData int) *SharedDisk {
+	return &SharedDisk{c: c, known: make([]bool, numData)}
+}
+
+// grow extends the presence table to cover id.
+func (s *SharedDisk) grow(id int32) {
+	for int(id) >= len(s.known) {
+		s.known = append(s.known, false)
+	}
 }
 
 // Arch implements System.
 func (s *SharedDisk) Arch() Architecture { return Shared }
 
 // Place implements System.
-func (s *SharedDisk) Place(key string, node int) { s.known[key] = true }
+func (s *SharedDisk) Place(id int32, node int) {
+	s.grow(id)
+	s.known[id] = true
+}
 
 // Location implements System: shared storage has no node affinity, so the
 // locality scheduler gets no signal — matching the paper's finding that
 // scheduling-policy changes behave differently on shared disk.
-func (s *SharedDisk) Location(key string) (int, bool) { return -1, false }
+func (s *SharedDisk) Location(id int32) (int, bool) { return -1, false }
 
 // Read implements System: reader NIC + shared backend, both contended.
-func (s *SharedDisk) Read(p *sim.Proc, reader *cluster.Node, key string, bytes float64) float64 {
+func (s *SharedDisk) Read(p *sim.Proc, reader *cluster.Node, id int32, bytes float64) float64 {
 	start := p.Now()
 	reader.NIC.Transfer(p, bytes)
 	s.c.Shared.Transfer(p, bytes)
@@ -141,21 +172,23 @@ func (s *SharedDisk) Read(p *sim.Proc, reader *cluster.Node, key string, bytes f
 }
 
 // Write implements System.
-func (s *SharedDisk) Write(p *sim.Proc, writer *cluster.Node, key string, bytes float64) float64 {
+func (s *SharedDisk) Write(p *sim.Proc, writer *cluster.Node, id int32, bytes float64) float64 {
 	start := p.Now()
 	writer.NIC.Transfer(p, bytes)
 	s.c.Shared.Transfer(p, bytes)
-	s.known[key] = true
+	s.grow(id)
+	s.known[id] = true
 	return p.Now() - start
 }
 
-// New constructs the architecture selected by arch.
-func New(arch Architecture, c *cluster.Cluster) (System, error) {
+// New constructs the architecture selected by arch, pre-sized for numData
+// distinct datum IDs.
+func New(arch Architecture, c *cluster.Cluster, numData int) (System, error) {
 	switch arch {
 	case Local:
-		return NewLocal(c), nil
+		return NewLocal(c, numData), nil
 	case Shared:
-		return NewShared(c), nil
+		return NewShared(c, numData), nil
 	default:
 		return nil, fmt.Errorf("storage: unknown architecture %d", arch)
 	}

@@ -8,6 +8,8 @@ import (
 	"wfsim/internal/sim"
 )
 
+const blk int32 = 3
+
 func buildCluster(t *testing.T) (*sim.Engine, *cluster.Cluster) {
 	t.Helper()
 	eng := sim.New()
@@ -21,15 +23,15 @@ func buildCluster(t *testing.T) (*sim.Engine, *cluster.Cluster) {
 
 func TestLocalReadLocalVsRemote(t *testing.T) {
 	eng, c := buildCluster(t)
-	sys := NewLocal(c)
-	sys.Place("blk", 0)
+	sys := NewLocal(c, 4)
+	sys.Place(blk, 0)
 	var localT, remoteT float64
 	eng.Go("local", func(p *sim.Proc) {
-		localT = sys.Read(p, c.Node(0), "blk", 100e6)
+		localT = sys.Read(p, c.Node(0), blk, 100e6)
 	})
 	eng.Go("remote", func(p *sim.Proc) {
 		p.Wait(10) // avoid contention with the local read
-		remoteT = sys.Read(p, c.Node(1), "blk", 100e6)
+		remoteT = sys.Read(p, c.Node(1), blk, 100e6)
 	})
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
@@ -44,15 +46,15 @@ func TestLocalReadLocalVsRemote(t *testing.T) {
 
 func TestLocalWriteRelocates(t *testing.T) {
 	eng, c := buildCluster(t)
-	sys := NewLocal(c)
-	sys.Place("blk", 0)
+	sys := NewLocal(c, 4)
+	sys.Place(blk, 0)
 	eng.Go("w", func(p *sim.Proc) {
-		sys.Write(p, c.Node(3), "blk", 1e6)
+		sys.Write(p, c.Node(3), blk, 1e6)
 	})
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
-	n, ok := sys.Location("blk")
+	n, ok := sys.Location(blk)
 	if !ok || n != 3 {
 		t.Fatalf("location = %d,%v; want 3,true", n, ok)
 	}
@@ -60,13 +62,13 @@ func TestLocalWriteRelocates(t *testing.T) {
 
 func TestLocalUnknownKeyTreatedAsLocal(t *testing.T) {
 	eng, c := buildCluster(t)
-	sys := NewLocal(c)
-	if _, ok := sys.Location("nope"); ok {
+	sys := NewLocal(c, 4)
+	if _, ok := sys.Location(int32(9)); ok {
 		t.Fatal("unknown key located")
 	}
 	var d float64
 	eng.Go("r", func(p *sim.Proc) {
-		d = sys.Read(p, c.Node(2), "nope", 1e6)
+		d = sys.Read(p, c.Node(2), int32(9), 1e6)
 	})
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
@@ -78,14 +80,14 @@ func TestLocalUnknownKeyTreatedAsLocal(t *testing.T) {
 
 func TestSharedNoAffinity(t *testing.T) {
 	eng, c := buildCluster(t)
-	sys := NewShared(c)
-	sys.Place("blk", 2)
-	if _, ok := sys.Location("blk"); ok {
+	sys := NewShared(c, 4)
+	sys.Place(blk, 2)
+	if _, ok := sys.Location(blk); ok {
 		t.Fatal("shared storage must report no node affinity")
 	}
 	var d float64
 	eng.Go("r", func(p *sim.Proc) {
-		d = sys.Read(p, c.Node(1), "blk", 50e6)
+		d = sys.Read(p, c.Node(1), blk, 50e6)
 	})
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
@@ -102,20 +104,20 @@ func TestSharedContention(t *testing.T) {
 	// Two simultaneous shared reads of equal size must finish together at
 	// ~2x the solo duration (backend fair sharing).
 	eng, c := buildCluster(t)
-	sys := NewShared(c)
+	sys := NewShared(c, 4)
 	solo := func() float64 {
 		e2, c2 := buildCluster(t)
-		s2 := NewShared(c2)
+		s2 := NewShared(c2, 4)
 		var d float64
-		e2.Go("r", func(p *sim.Proc) { d = s2.Read(p, c2.Node(0), "x", 500e6) })
+		e2.Go("r", func(p *sim.Proc) { d = s2.Read(p, c2.Node(0), int32(0), 500e6) })
 		if err := e2.Run(); err != nil {
 			t.Fatal(err)
 		}
 		return d
 	}()
 	var d1, d2 float64
-	eng.Go("a", func(p *sim.Proc) { d1 = sys.Read(p, c.Node(0), "x", 500e6) })
-	eng.Go("b", func(p *sim.Proc) { d2 = sys.Read(p, c.Node(1), "y", 500e6) })
+	eng.Go("a", func(p *sim.Proc) { d1 = sys.Read(p, c.Node(0), int32(0), 500e6) })
+	eng.Go("b", func(p *sim.Proc) { d2 = sys.Read(p, c.Node(1), int32(1), 500e6) })
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -128,17 +130,17 @@ func TestSharedSlowerThanLocalHit(t *testing.T) {
 	// Same volume: a local-disk hit should beat the shared path for these
 	// parameters (Observation O5/O6 prerequisite: local < shared).
 	engL, cL := buildCluster(t)
-	local := NewLocal(cL)
-	local.Place("b", 0)
+	local := NewLocal(cL, 4)
+	local.Place(blk, 0)
 	var tLocal float64
-	engL.Go("r", func(p *sim.Proc) { tLocal = local.Read(p, cL.Node(0), "b", 200e6) })
+	engL.Go("r", func(p *sim.Proc) { tLocal = local.Read(p, cL.Node(0), blk, 200e6) })
 	if err := engL.Run(); err != nil {
 		t.Fatal(err)
 	}
 	engS, cS := buildCluster(t)
-	shared := NewShared(cS)
+	shared := NewShared(cS, 4)
 	var tShared float64
-	engS.Go("r", func(p *sim.Proc) { tShared = shared.Read(p, cS.Node(0), "b", 200e6) })
+	engS.Go("r", func(p *sim.Proc) { tShared = shared.Read(p, cS.Node(0), blk, 200e6) })
 	if err := engS.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +150,7 @@ func TestSharedSlowerThanLocalHit(t *testing.T) {
 	_ = tLocal
 	_ = tShared
 	engL2, cL2 := buildCluster(t)
-	local2 := NewLocal(cL2)
+	local2 := NewLocal(cL2, 4)
 	var endL float64
 	for i := 0; i < 4; i++ {
 		i := i
@@ -164,7 +166,7 @@ func TestSharedSlowerThanLocalHit(t *testing.T) {
 		t.Fatal(err)
 	}
 	engS2, cS2 := buildCluster(t)
-	shared2 := NewShared(cS2)
+	shared2 := NewShared(cS2, 4)
 	var endS float64
 	for i := 0; i < 4; i++ {
 		i := i
@@ -183,12 +185,12 @@ func TestSharedSlowerThanLocalHit(t *testing.T) {
 	}
 }
 
-func key(i int) string { return string(rune('a' + i)) }
+func key(i int) int32 { return int32(i) }
 
 func TestNewFactory(t *testing.T) {
 	_, c := buildCluster(t)
 	for _, arch := range []Architecture{Local, Shared} {
-		s, err := New(arch, c)
+		s, err := New(arch, c, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -196,7 +198,7 @@ func TestNewFactory(t *testing.T) {
 			t.Fatalf("arch = %v, want %v", s.Arch(), arch)
 		}
 	}
-	if _, err := New(Architecture(99), c); err == nil {
+	if _, err := New(Architecture(99), c, 4); err == nil {
 		t.Fatal("unknown architecture accepted")
 	}
 	if Local.String() != "local disk" || Shared.String() != "shared disk" {

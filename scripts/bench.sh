@@ -11,6 +11,6 @@ set -eu
 label=${1:?usage: scripts/bench.sh <label> [count]}
 count=${2:-5}
 
-go test -run '^$' -bench 'Sim(Engine|Handoff|LinkChurn|ServerContention|Workflow)$' \
+go test -run '^$' -bench 'Sim(Engine|Handoff|LinkChurn|ServerContention|Workflow|WorkflowLarge)$|^Benchmark(DAGBuild|LocalityPlace)$' \
     -benchmem -count "$count" . |
     go run scripts/benchsnap.go -label "$label"

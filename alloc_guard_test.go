@@ -7,9 +7,9 @@ import (
 )
 
 // simAllocs returns the allocations of one full build+simulate cycle of a
-// 64-block K-means with the given iteration count, averaged over a few
-// runs.
-func simAllocs(t *testing.T, iterations int) float64 {
+// 64-block K-means with the given iteration count and environment,
+// averaged over a few runs.
+func simAllocs(t *testing.T, iterations int, cfg wfsim.SimConfig) float64 {
 	t.Helper()
 	return testing.AllocsPerRun(3, func() {
 		wf, err := wfsim.BuildKMeans(wfsim.KMeansConfig{
@@ -19,7 +19,7 @@ func simAllocs(t *testing.T, iterations int) float64 {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := wfsim.RunSim(wf, wfsim.SimConfig{Device: wfsim.GPU}); err != nil {
+		if _, err := wfsim.RunSim(wf, cfg); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -37,6 +37,12 @@ func simAllocs(t *testing.T, iterations int) float64 {
 // entry, both build-time; the simulate path itself is allocation-free in
 // steady state. The budget leaves headroom for noise, not for regressions:
 // if this fails, something on the per-task path started allocating.
+//
+// Both environments must hold the budget: the default shared-disk FIFO
+// path, and the local-disk locality path that exercises the placement
+// scratch and the storage location table. In particular the fault-injection
+// machinery must stay free on fault-free runs — attempt buffers and
+// recovery bookkeeping are only allocated when SimConfig.Faults is enabled.
 func TestSimAllocBudget(t *testing.T) {
 	const (
 		shallowIters = 2
@@ -44,17 +50,30 @@ func TestSimAllocBudget(t *testing.T) {
 		grid         = 64
 		budget       = 6.0 // marginal allocs per task, ~5× observed
 	)
-	// Warm the engine's global coroutine pool and the allocator so both
-	// measured runs see identical steady-state conditions.
-	simAllocs(t, deepIters)
+	configs := []struct {
+		name string
+		cfg  wfsim.SimConfig
+	}{
+		{"shared-fifo-gpu", wfsim.SimConfig{Device: wfsim.GPU}},
+		{"local-locality-gpu", wfsim.SimConfig{
+			Device: wfsim.GPU, Storage: wfsim.LocalDisk, Policy: wfsim.DataLocality,
+		}},
+	}
+	for _, c := range configs {
+		t.Run(c.name, func(t *testing.T) {
+			// Warm the engine's global coroutine pool and the allocator so
+			// both measured runs see identical steady-state conditions.
+			simAllocs(t, deepIters, c.cfg)
 
-	shallow := simAllocs(t, shallowIters)
-	deep := simAllocs(t, deepIters)
-	marginalTasks := float64((grid + 1) * (deepIters - shallowIters))
-	perTask := (deep - shallow) / marginalTasks
-	t.Logf("allocs: shallow=%.0f deep=%.0f marginal/task=%.2f (budget %v)",
-		shallow, deep, perTask, budget)
-	if perTask > budget {
-		t.Errorf("hot path allocates %.2f allocations per task, budget %v", perTask, budget)
+			shallow := simAllocs(t, shallowIters, c.cfg)
+			deep := simAllocs(t, deepIters, c.cfg)
+			marginalTasks := float64((grid + 1) * (deepIters - shallowIters))
+			perTask := (deep - shallow) / marginalTasks
+			t.Logf("allocs: shallow=%.0f deep=%.0f marginal/task=%.2f (budget %v)",
+				shallow, deep, perTask, budget)
+			if perTask > budget {
+				t.Errorf("hot path allocates %.2f allocations per task, budget %v", perTask, budget)
+			}
+		})
 	}
 }

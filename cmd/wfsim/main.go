@@ -32,13 +32,49 @@ import (
 	"wfsim/internal/apps/matmul"
 	"wfsim/internal/dataset"
 	"wfsim/internal/experiments"
+	"wfsim/internal/faults"
 	"wfsim/internal/model"
 	"wfsim/internal/runner"
 	"wfsim/internal/runtime"
+	"wfsim/internal/storage"
 	"wfsim/internal/tables"
 
 	"wfsim/internal/costmodel"
 )
+
+// simFlags registers the storage and fault-injection knobs shared by the
+// trace and gantt commands and returns a builder that assembles their part
+// of the SimConfig after parsing.
+func simFlags(fs *flag.FlagSet) func(*runtime.SimConfig) {
+	arch := fs.String("storage", "shared", "storage architecture: shared or local")
+	seed := fs.Uint64("fault-seed", 1, "failure-injection seed")
+	mtbf := fs.Float64("fault-mtbf", 0, "mean time between node crashes per node, virtual s (0 = off)")
+	mttr := fs.Float64("fault-mttr", 0, "mean node repair time, virtual s (default mtbf/10)")
+	prob := fs.Float64("fault-p", 0, "transient failure probability per task attempt (0 = off)")
+	slow := fs.Float64("fault-straggler-mtbf", 0, "mean time between straggler episodes per node, virtual s (0 = off)")
+	return func(cfg *runtime.SimConfig) {
+		if *arch == "local" {
+			cfg.Storage = storage.Local
+		}
+		cfg.Faults = faults.Config{
+			Seed: *seed, NodeMTBF: *mtbf, NodeMTTR: *mttr,
+			TaskFailProb: *prob, StragglerMTBF: *slow,
+		}
+	}
+}
+
+// faultSummary prints one line of failure-injection accounting when it is
+// enabled; silent otherwise so fault-free output stays byte-stable.
+func faultSummary(cfg runtime.SimConfig, res *runtime.SimResult) {
+	if !cfg.Faults.Enabled() {
+		return
+	}
+	f := res.Faults
+	fmt.Fprintf(os.Stderr,
+		"faults: %d crashes, %d requeues, %d retries, %d blocks lost, %d recomputes, %d restages, wasted %.2fs, recovery %.2fs\n",
+		f.Crashes, f.CrashRequeues, f.Retries, f.BlocksLost,
+		f.LineageRecomputes, f.InputRestages, f.WastedWork, f.RecoveryWork)
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -83,7 +119,10 @@ func usage() {
   wfsim sweep                      block-size sweep, CPU vs GPU
   wfsim trace                      dump a Paraver-like trace of a K-means run
   wfsim advise                     analytic CPU-vs-GPU recommendation for a workload
-  wfsim gantt                      ASCII per-core timeline of a simulated run`)
+  wfsim gantt                      ASCII per-core timeline of a simulated run
+
+trace and gantt accept -storage shared|local and deterministic failure
+injection: -fault-seed -fault-mtbf -fault-mttr -fault-p -fault-straggler-mtbf`)
 }
 
 func cmdList() error {
@@ -351,6 +390,7 @@ func cmdGantt(args []string) error {
 	gpu := fs.Bool("gpu", true, "GPU-accelerate parallel tasks")
 	width := fs.Int("width", 100, "timeline width in characters")
 	rows := fs.Int("rows", 16, "max core rows (busiest first)")
+	sim := simFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -364,10 +404,13 @@ func cmdGantt(args []string) error {
 	if *gpu {
 		dev = costmodel.GPU
 	}
-	res, err := runtime.RunSim(wf, runtime.SimConfig{Device: dev})
+	cfg := runtime.SimConfig{Device: dev}
+	sim(&cfg)
+	res, err := runtime.RunSim(wf, cfg)
 	if err != nil {
 		return err
 	}
+	faultSummary(cfg, res)
 	fmt.Printf("K-means 10 GB, grid %dx1, %s tasks — makespan %.2fs, core util %.0f%%, gpu util %.0f%%\n",
 		*grid, dev, res.Makespan, res.CoreUtilization*100, res.GPUUtilization*100)
 	return res.Collector.WriteGantt(os.Stdout, *width, *rows)
@@ -378,6 +421,7 @@ func cmdTrace(args []string) error {
 	grid := fs.Int64("grid", 32, "grid dimension")
 	out := fs.String("out", "", "output file (default stdout)")
 	format := fs.String("format", "prv", "trace format: prv or csv")
+	sim := simFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -385,10 +429,13 @@ func cmdTrace(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := runtime.RunSim(wf, runtime.SimConfig{Device: costmodel.GPU})
+	cfg := runtime.SimConfig{Device: costmodel.GPU}
+	sim(&cfg)
+	res, err := runtime.RunSim(wf, cfg)
 	if err != nil {
 		return err
 	}
+	faultSummary(cfg, res)
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"wfsim/internal/apps/kmeans"
+	"wfsim/internal/costmodel"
+	"wfsim/internal/dataset"
+	"wfsim/internal/faults"
+	"wfsim/internal/runner"
+	"wfsim/internal/runtime"
+	"wfsim/internal/sched"
+	"wfsim/internal/storage"
+	"wfsim/internal/tables"
+)
+
+// Ext4Row is one (failure level × storage × policy) measurement.
+type Ext4Row struct {
+	Level    string
+	Storage  storage.Architecture
+	Policy   sched.Policy
+	Makespan float64
+	Stats    runtime.FaultStats
+}
+
+// Ext4Result extends the paper's storage-architecture comparison (§5.3,
+// Observations O5/O6) to the failure regime its testbed never exercised:
+// deterministic node crashes, transient task failures and stragglers under
+// both storage architectures. The asymmetry is structural: shared (GPFS)
+// storage survives node loss, so a crash costs only re-queued attempts;
+// local disks die with their node, so the same crash additionally costs
+// lineage recomputation of every lost block — the paper's local-disk
+// bandwidth advantage buys fragility that failure pressure converts back
+// into time.
+type Ext4Result struct {
+	Rows []Ext4Row
+}
+
+// ext4Level is a named failure intensity, calibrated against the ~55-80 s
+// fault-free makespans of the 128-block K-means: "moderate" injects about
+// one crash per run, "heavy" several — while staying subcritical (lineage
+// recovery inflates the makespan, which buys more crashes; much past this
+// intensity the feedback diverges on local disks).
+type ext4Level struct {
+	name string
+	cfg  faults.Config
+}
+
+func ext4Levels() []ext4Level {
+	return []ext4Level{
+		{name: "none"},
+		{name: "moderate", cfg: faults.Config{
+			Seed: 42, NodeMTBF: 600, NodeMTTR: 24,
+			TaskFailProb: 0.02, MaxAttempts: 8, StragglerMTBF: 1200,
+		}},
+		{name: "heavy", cfg: faults.Config{
+			Seed: 42, NodeMTBF: 250, NodeMTTR: 10,
+			TaskFailProb: 0.02, MaxAttempts: 8, StragglerMTBF: 500,
+		}},
+	}
+}
+
+// ext4Spec is one trial configuration.
+type ext4Spec struct {
+	level ext4Level
+	arch  storage.Architecture
+	pol   sched.Policy
+}
+
+func runExt4(ctx context.Context, eng *runner.Engine) (Result, error) {
+	var specs []ext4Spec
+	for _, lvl := range ext4Levels() {
+		for _, arch := range []storage.Architecture{storage.Shared, storage.Local} {
+			for _, pol := range []sched.Policy{sched.FIFO, sched.Locality} {
+				specs = append(specs, ext4Spec{level: lvl, arch: arch, pol: pol})
+			}
+		}
+	}
+	rows, err := runner.Map(ctx, eng, "ext4", specs,
+		func(s ext4Spec) string { return fmt.Sprintf("ext4|%s|%v|%v", s.level.name, s.arch, s.pol) },
+		func(_ context.Context, s ext4Spec) (Ext4Row, error) {
+			wf, err := kmeans.Build(kmeans.Config{
+				Dataset: dataset.KMeansSmall, Grid: 128, Clusters: 10,
+			})
+			if err != nil {
+				return Ext4Row{}, err
+			}
+			res, err := runtime.RunSim(wf, runtime.SimConfig{
+				Device:  costmodel.GPU,
+				Storage: s.arch,
+				Policy:  s.pol,
+				Faults:  s.level.cfg,
+			})
+			if err != nil {
+				return Ext4Row{}, err
+			}
+			return Ext4Row{
+				Level: s.level.name, Storage: s.arch, Policy: s.pol,
+				Makespan: res.Makespan, Stats: res.Faults,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Ext4Result{Rows: rows}, nil
+}
+
+// Render implements Result.
+func (r *Ext4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Extension: failure injection vs storage architecture (K-means 10 GB, 128 tasks, GPU)\n")
+	b.WriteString("(deterministic seeded faults: node crash/restart, transient task failures, stragglers)\n\n")
+	t := tables.New("", "faults", "storage", "policy", "makespan (s)",
+		"crashes", "requeues", "retries", "lost blocks", "recomputes", "restages",
+		"wasted (s)", "recovery (s)")
+	for _, row := range r.Rows {
+		s := row.Stats
+		t.AddRow(
+			row.Level,
+			row.Storage.String(),
+			row.Policy.String(),
+			tables.FormatFloat(row.Makespan),
+			fmt.Sprint(s.Crashes),
+			fmt.Sprint(s.CrashRequeues),
+			fmt.Sprint(s.Retries),
+			fmt.Sprint(s.BlocksLost),
+			fmt.Sprint(s.LineageRecomputes),
+			fmt.Sprint(s.InputRestages),
+			tables.FormatFloat(s.WastedWork),
+			tables.FormatFloat(s.RecoveryWork),
+		)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nShared storage survives node loss: a crash costs only re-queued attempts\n")
+	b.WriteString("(wasted work), never data. Local disks die with their node, so the same\n")
+	b.WriteString("crash schedule additionally forces lineage recomputation of lost blocks and\n")
+	b.WriteString("re-staging of lost inputs — and data-locality placement, by concentrating\n")
+	b.WriteString("a task's blocks on one node, concentrates the damage when that node dies.\n")
+	return b.String()
+}
+
+func init() {
+	register(Experiment{
+		ID:    "ext4",
+		Title: "Extension: failure injection, retry and lineage recovery vs storage architecture",
+		Run:   runExt4,
+	})
+}

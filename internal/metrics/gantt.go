@@ -16,6 +16,7 @@ var ganttGlyphs = [numStages]byte{
 	StageSerial:   's',
 	StageCommOut:  'c',
 	StageSer:      'w',
+	StageRecovery: 'x',
 }
 
 // WriteGantt renders an ASCII per-core timeline of the collected records:
@@ -95,7 +96,7 @@ func (c *Collector) WriteGantt(w io.Writer, width, maxCores int) error {
 		start, end, width, binW); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintln(w, "legend: .=sched d=deser c=cpu-gpu comm P=parallel s=serial w=ser"); err != nil {
+	if _, err := fmt.Fprintln(w, "legend: .=sched d=deser c=cpu-gpu comm P=parallel s=serial w=ser x=recovery"); err != nil {
 		return err
 	}
 	for _, core := range cores {

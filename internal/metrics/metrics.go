@@ -38,6 +38,10 @@ const (
 	StageCommOut
 	// StageSer covers encode + storage write of outputs.
 	StageSer
+	// StageRecovery is fault-recovery overhead: the span an aborted
+	// attempt held its core before a node crash, transient failure or
+	// lost input forced it off (fault-injected runs only).
+	StageRecovery
 
 	numStages
 )
@@ -48,6 +52,7 @@ const NumStages = int(numStages)
 
 var stageNames = [numStages]string{
 	"sched", "deser", "comm_in", "parallel", "serial", "comm_out", "ser",
+	"recovery",
 }
 
 func (s Stage) String() string {

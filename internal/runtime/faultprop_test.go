@@ -1,0 +1,62 @@
+// Property test: every generated workflow completes under seeded failure
+// schedules, on both storage architectures. Lives in an external test
+// package because workload imports runtime.
+package runtime_test
+
+import (
+	"testing"
+
+	"wfsim/internal/faults"
+	"wfsim/internal/runtime"
+	"wfsim/internal/sched"
+	"wfsim/internal/storage"
+	"wfsim/internal/workload"
+)
+
+func TestEveryWorkflowCompletesUnderFaults(t *testing.T) {
+	policies := []sched.Policy{sched.FIFO, sched.Locality, sched.LIFO, sched.Random}
+	for seed := uint64(1); seed <= 5; seed++ {
+		cfg := workload.Default(seed)
+		cfg.Tasks = 60
+		wf, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, arch := range []storage.Architecture{storage.Shared, storage.Local} {
+			base, err := runtime.RunSim(wf, runtime.SimConfig{Storage: arch})
+			if err != nil {
+				t.Fatalf("seed %d %v fault-free: %v", seed, arch, err)
+			}
+			fcfg := faults.Config{
+				Seed:          seed * 31,
+				NodeMTBF:      base.Makespan, // several crashes expected across 8 nodes
+				NodeMTTR:      base.Makespan / 10,
+				TaskFailProb:  0.05,
+				MaxAttempts:   25,
+				StragglerMTBF: base.Makespan * 2,
+			}
+			res, err := runtime.RunSim(wf, runtime.SimConfig{
+				Storage: arch,
+				Policy:  policies[seed%uint64(len(policies))],
+				Faults:  fcfg,
+			})
+			if err != nil {
+				t.Fatalf("seed %d %v faulty run failed: %v", seed, arch, err)
+			}
+			fs := res.Faults
+			if fs.Retries > fs.TransientFailures {
+				t.Errorf("seed %d %v: %d retries > %d transient failures",
+					seed, arch, fs.Retries, fs.TransientFailures)
+			}
+			if arch == storage.Shared && (fs.BlocksLost != 0 || fs.LineageRecomputes != 0 || fs.InputRestages != 0) {
+				t.Errorf("seed %d shared storage lost data: %+v", seed, fs)
+			}
+			if fs.WastedWork < 0 || fs.RecoveryWork < 0 {
+				t.Errorf("seed %d %v: negative work accounting %+v", seed, arch, fs)
+			}
+			if res.Makespan <= 0 {
+				t.Errorf("seed %d %v: non-positive makespan", seed, arch)
+			}
+		}
+	}
+}

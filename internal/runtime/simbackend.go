@@ -9,6 +9,7 @@ import (
 	"wfsim/internal/cluster"
 	"wfsim/internal/costmodel"
 	"wfsim/internal/dag"
+	"wfsim/internal/faults"
 	"wfsim/internal/metrics"
 	"wfsim/internal/sched"
 	"wfsim/internal/sim"
@@ -39,6 +40,11 @@ type SimConfig struct {
 	// count when set. Models resource heterogeneity beyond the paper's
 	// uniform testbed — useful for scheduler stress studies.
 	NodeSpeed []float64
+	// Faults parameterizes deterministic failure injection (node
+	// crashes, transient task failures, straggler episodes). The zero
+	// value disables injection entirely: the run is byte-identical to
+	// one built before the fault machinery existed.
+	Faults faults.Config
 }
 
 func (c SimConfig) withDefaults() SimConfig {
@@ -52,6 +58,41 @@ func (c SimConfig) withDefaults() SimConfig {
 	return c
 }
 
+// FaultStats summarizes what failure injection did to a run and what
+// recovery cost. All fields are zero when injection is disabled.
+type FaultStats struct {
+	// Crashes is the number of node crash events.
+	Crashes int
+	// BlocksLost counts blocks whose only copy died with a node's local
+	// disk (always 0 on shared storage).
+	BlocksLost int
+	// Episodes is the number of straggler slowdown episodes.
+	Episodes int
+	// TransientFailures counts task attempts killed by injected
+	// per-attempt failures.
+	TransientFailures int
+	// Retries counts re-queues of transiently failed tasks (one per
+	// failure that did not exhaust MaxAttempts).
+	Retries int
+	// CrashRequeues counts attempts re-queued because their node crashed
+	// under them.
+	CrashRequeues int
+	// Stalls counts dispatches that found every node down and had to
+	// wait for a repair.
+	Stalls int
+	// LineageRecomputes counts producer tasks re-executed to
+	// re-materialize blocks lost with a local disk.
+	LineageRecomputes int
+	// InputRestages counts workflow input blocks re-fetched from the
+	// durable source after their staged copy was lost.
+	InputRestages int
+	// WastedWork is total core time burned by aborted attempts.
+	WastedWork float64
+	// RecoveryWork is total core time spent re-executing
+	// already-completed producer tasks for lineage recovery.
+	RecoveryWork float64
+}
+
 // SimResult is the outcome of a simulated run.
 type SimResult struct {
 	// Collector holds every per-stage record for aggregation.
@@ -63,6 +104,8 @@ type SimResult struct {
 	GPUUtilization  float64
 	// SchedDecisions counts scheduler dispatches (== tasks).
 	SchedDecisions int
+	// Faults reports failure-injection activity (zero when disabled).
+	Faults FaultStats
 }
 
 // RunSim executes the workflow on the simulated cluster and returns the
@@ -89,6 +132,12 @@ func RunSim(wf *Workflow, cfg SimConfig) (*SimResult, error) {
 	params := cfg.Params
 	if err := params.Validate(); err != nil {
 		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	fcfg := cfg.Faults.WithDefaults()
+	if fcfg.Enabled() {
+		if err := fcfg.Validate(); err != nil {
+			return nil, fmt.Errorf("runtime: %w", err)
+		}
 	}
 
 	// Pre-flight memory check over every task at its assigned device.
@@ -139,7 +188,8 @@ func RunSim(wf *Workflow, cfg SimConfig) (*SimResult, error) {
 		Locate:   store.Location,
 	}
 	// Every record buffer append lands in one up-front allocation: the
-	// record count is bounded by tasks × stages.
+	// record count is bounded by tasks × stages (faulty runs may append
+	// past it; they are not on the allocation-free path anyway).
 	run.collector.Grow(wf.Graph.Len() * metrics.NumStages)
 	// Core-occupancy bitmaps: bit i set = physical core i free.
 	words := (cfg.Cluster.CoresPerNode + 63) / 64
@@ -151,6 +201,22 @@ func RunSim(wf *Workflow, cfg SimConfig) (*SimResult, error) {
 	}
 	for _, lvl := range wf.Graph.Levels() {
 		run.levelWidth = append(run.levelWidth, len(lvl))
+	}
+
+	if fcfg.Enabled() {
+		inj := faults.NewInjector(eng, fcfg, cfg.Cluster.Nodes)
+		run.faults = inj
+		run.fcfg = fcfg
+		run.attempts = make([]int32, wf.Graph.Len())
+		run.doneTask = make([]bool, wf.Graph.Len())
+		run.inFlight = make([]bool, wf.Graph.Len())
+		run.waiters = make([][]int32, wf.Graph.Len())
+		// The scheduler sees node up/down state live; placement never
+		// targets a down node.
+		run.view.Up = inj.UpNodes()
+		inj.OnCrash = run.onNodeCrash
+		inj.OnRepair = run.onNodeRepair
+		inj.Start()
 	}
 
 	// Pre-place workflow input data: shared storage registers the keys;
@@ -179,6 +245,9 @@ func RunSim(wf *Workflow, cfg SimConfig) (*SimResult, error) {
 	if err := eng.Run(); err != nil {
 		return nil, fmt.Errorf("runtime: simulation failed: %w", err)
 	}
+	if run.failErr != nil {
+		return nil, run.failErr
+	}
 	if run.done != wf.Graph.Len() {
 		return nil, fmt.Errorf("runtime: %d of %d tasks completed", run.done, wf.Graph.Len())
 	}
@@ -187,6 +256,10 @@ func RunSim(wf *Workflow, cfg SimConfig) (*SimResult, error) {
 		Collector:      run.collector,
 		Makespan:       eng.Now(),
 		SchedDecisions: run.done,
+	}
+	if run.faults != nil {
+		run.stats.Episodes = run.faults.Episodes()
+		res.Faults = run.stats
 	}
 	var coreBusy, gpuBusy float64
 	for _, n := range clu.Nodes {
@@ -225,7 +298,6 @@ type simRun struct {
 
 	queue         sched.Queue
 	granted       sched.Queue     // refs popped at grant instants, consumed in grant order
-	arrivals      floatRing       // dispatch-request instants, consumed in grant order
 	view          sched.View      // reused across every placement decision
 	taskProcFn    func(*sim.Proc) // bound once; a per-enqueue method value would allocate
 	requestFn     func()          // bound once: Master.Request
@@ -236,38 +308,42 @@ type simRun struct {
 	inputSlab     []sched.DataLoc
 	levelWidth    []int // tasks per DAG level
 	done          int
+
+	// Fault-injection state; every field below is nil/zero and untouched
+	// in a fault-free run, keeping the hot path allocation-free.
+	faults   *faults.Injector
+	fcfg     faults.Config
+	stats    FaultStats
+	attempts []int32     // transient failures accumulated per task
+	doneTask []bool      // completed at least once (lineage may re-run it)
+	inFlight []bool      // queued or executing right now
+	waiters  [][]int32   // tasks parked on a producer's re-execution
+	stalled  sched.Queue // refs dispatched while every node was down
+	failErr  error       // fatal failure: retry budget exhausted
 }
 
-// floatRing is a growable FIFO of float64 values (a head-index ring
-// buffer), used to carry dispatch-request timestamps from enqueue to the
-// matching grant without allocating per request.
-type floatRing struct {
-	items []float64
-	head  int
-	count int
-}
+// attemptOutcome classifies how one placed attempt of a task ended.
+type attemptOutcome int
 
-func (q *floatRing) push(v float64) {
-	if q.count == len(q.items) {
-		grown := make([]float64, max(2*len(q.items), 8))
-		for i := 0; i < q.count; i++ {
-			grown[i] = q.items[(q.head+i)%len(q.items)]
-		}
-		q.items = grown
-		q.head = 0
-	}
-	q.items[(q.head+q.count)%len(q.items)] = v
-	q.count++
-}
+const (
+	// attemptDone: the attempt ran the full Figure 4 pipeline.
+	attemptDone attemptOutcome = iota
+	// attemptCrashed: the node crashed under the attempt; re-queue now.
+	attemptCrashed
+	// attemptFailed: injected transient failure; retry with backoff.
+	attemptFailed
+	// attemptLostInput: an input block is gone; the attempt registered
+	// itself with the producer's waiters and lineage recovery is under
+	// way.
+	attemptLostInput
+)
 
-func (q *floatRing) pop() float64 {
-	if q.count == 0 {
-		panic("runtime: pop of empty floatRing")
-	}
-	v := q.items[q.head]
-	q.head = (q.head + 1) % len(q.items)
-	q.count--
-	return v
+// attemptRecs buffers one attempt's stage records so an aborted attempt
+// leaves a single StageRecovery span instead of a torn half-pipeline.
+// Fault-free runs bypass the buffer and append records directly.
+type attemptRecs struct {
+	recs [metrics.NumStages]metrics.Record
+	n    int
 }
 
 // acquireSlot returns the lowest free core index on a node, so repeated
@@ -314,9 +390,13 @@ func (r *simRun) borrowInputs(n int) []sched.DataLoc {
 // master. The request is a zero-delay engine event — it takes the schedule
 // position the dispatch process's start node used to occupy, so dispatch
 // order is unchanged — and no process exists until the master grants the
-// request (grantNext).
+// request (grantNext). The enqueue instant rides with the ref so queue
+// disciplines that reorder dispatch still attribute the correct wait.
 func (r *simRun) enqueue(t *dag.Task) {
-	ref := sched.TaskRef{ID: t.ID, Name: t.Name}
+	if r.failErr != nil {
+		return // fatal failure: the run is draining, nothing new starts
+	}
+	ref := sched.TaskRef{ID: t.ID, Name: t.Name, Enqueued: r.eng.Now()}
 	nReads := 0
 	for _, p := range t.Params {
 		if p.Reads() {
@@ -333,20 +413,30 @@ func (r *simRun) enqueue(t *dag.Task) {
 			}
 		}
 	}
+	if r.inFlight != nil {
+		r.inFlight[t.ID] = true
+	}
 	r.queue.Push(ref)
-	r.arrivals.push(r.eng.Now())
 	r.eng.Schedule(0, r.requestFn)
 }
 
-// rec appends one stage record. Explicit arguments instead of a per-task
-// closure keep the record path allocation-free.
-func (r *simRun) rec(task *dag.Task, nodeID, core int, dev costmodel.DeviceKind,
+// rec appends one stage record, into buf when the attempt is buffered
+// (fault runs) or straight to the collector (fault-free hot path).
+// Explicit arguments instead of a per-task closure keep the record path
+// allocation-free.
+func (r *simRun) rec(buf *attemptRecs, task *dag.Task, nodeID, core int, dev costmodel.DeviceKind,
 	stage metrics.Stage, start, end float64) {
-	r.collector.Add(metrics.Record{
+	rec := metrics.Record{
 		TaskID: task.ID, TaskName: task.Name, Level: task.Level,
 		Node: nodeID, Core: core, Device: dev.String(),
 		Stage: stage, Start: start, End: end,
-	})
+	}
+	if buf != nil {
+		buf.recs[buf.n] = rec
+		buf.n++
+		return
+	}
+	r.collector.Add(rec)
 }
 
 // grantNext runs engine-side at the instant the master is granted to the
@@ -366,15 +456,23 @@ func (r *simRun) grantNext() {
 }
 
 // taskProc is the full lifecycle of one dispatched task, starting at the
-// instant its scheduling decision completes: placement on the master, then
-// the Figure 4 pipeline on the placed node.
+// instant its scheduling decision completes: placement on the master, the
+// Figure 4 pipeline on the placed node, then completion bookkeeping or —
+// under fault injection — the recovery policy for the attempt's outcome.
 func (r *simRun) taskProc(p *sim.Proc) {
 	// --- Scheduling epilogue: the grant and decision delay already
 	// happened engine-side (grantNext); this process starts with the
 	// master held, places the task, and releases the master.
-	schedStart := r.arrivals.pop()
 	ref, _ := r.granted.PopFront()
 	nodeID := r.scheduler.Place(ref, &r.view)
+	if nodeID < 0 && r.faults != nil && !r.faults.AnyUp() {
+		// Every node is down. Park the ref; the next repair re-files it
+		// (onNodeRepair) with its original enqueue instant intact.
+		r.stats.Stalls++
+		r.stalled.Push(ref)
+		r.clu.Master.End()
+		return
+	}
 	r.clu.Master.End()
 	if nodeID < 0 || nodeID >= r.cfg.Cluster.Nodes {
 		panic(fmt.Sprintf("runtime: scheduler placed task %d on invalid node %d", ref.ID, nodeID))
@@ -382,6 +480,42 @@ func (r *simRun) taskProc(p *sim.Proc) {
 	r.load[nodeID]++
 
 	task := r.wf.Graph.Task(ref.ID)
+	switch r.runAttempt(p, ref, task, nodeID) {
+	case attemptDone:
+		if r.faults != nil {
+			// Transient-failure exhaustion counts consecutive failures: a
+			// success (including lineage re-execution) proves the task can
+			// make progress and resets its budget.
+			r.attempts[task.ID] = 0
+		}
+		r.completeTask(task)
+	case attemptCrashed:
+		r.stats.CrashRequeues++
+		r.enqueue(task)
+	case attemptFailed:
+		r.stats.TransientFailures++
+		r.attempts[task.ID]++
+		n := int(r.attempts[task.ID])
+		if n >= r.fcfg.MaxAttempts {
+			r.failErr = fmt.Errorf("runtime: task %d (%s) exhausted %d attempts under transient failures",
+				task.ID, task.Name, n)
+			r.faults.Stop()
+			return
+		}
+		r.stats.Retries++
+		r.eng.Schedule(r.fcfg.Backoff(n), func() { r.enqueue(task) })
+	case attemptLostInput:
+		// The attempt registered itself as a lineage waiter; the
+		// producer's (re-)completion re-enqueues it.
+	}
+}
+
+// runAttempt executes one placed attempt of a task: the Figure 4 pipeline
+// under the fault model. Under injection it checks the node's restart
+// epoch at stage boundaries — the COMPSs master notices worker loss when a
+// dispatched task's result is due, not preemptively — and aborts the
+// attempt on a mismatch, releasing every held resource.
+func (r *simRun) runAttempt(p *sim.Proc, ref sched.TaskRef, task *dag.Task, nodeID int) attemptOutcome {
 	prof := r.wf.Spec(task).Profile
 	dev := taskDevice(prof, r.cfg.Device)
 	node := r.clu.Node(nodeID)
@@ -390,7 +524,18 @@ func (r *simRun) taskProc(p *sim.Proc) {
 		speed = r.cfg.NodeSpeed[nodeID]
 	}
 
-	r.rec(task, nodeID, -1, dev, metrics.StageSched, schedStart, p.Now())
+	inj := r.faults
+	var buf *attemptRecs
+	var epoch uint64
+	failNow, failFrac := false, 0.0
+	if inj != nil {
+		buf = &attemptRecs{}
+		epoch = inj.Epoch(nodeID)
+		speed *= inj.Speed(nodeID)
+		failNow, failFrac = inj.AttemptFails()
+	}
+
+	r.rec(buf, task, nodeID, -1, dev, metrics.StageSched, ref.Enqueued, p.Now())
 
 	// --- Occupy a worker core for the whole task (COMPSs binds the task
 	// to a core; GPU tasks keep their host core while the kernel runs).
@@ -406,19 +551,45 @@ func (r *simRun) taskProc(p *sim.Proc) {
 	if dev == costmodel.GPU {
 		node.GPUs.Acquire(p)
 	}
+	bodyStart := p.Now()
+	if inj != nil && inj.Epoch(nodeID) != epoch {
+		r.abortAttempt(p, task, nodeID, slot, dev, bodyStart)
+		return attemptCrashed
+	}
 
 	// --- Deserialization: storage reads of every input, then CPU decode.
 	dStart := p.Now()
 	var readBytes float64
 	for _, in := range ref.Inputs {
-		r.store.Read(p, node, in.ID, in.Bytes)
+		if _, ok := r.store.Read(p, node, in.ID, in.Bytes); !ok {
+			if inj == nil {
+				r.panicUnknownRead(task, in.ID)
+			}
+			if prod := r.producerOf(task, in.ID); prod >= 0 {
+				// The block was produced by an upstream task and died
+				// with a local disk: lineage recovery re-executes the
+				// producer; this attempt aborts and waits for it.
+				r.addWaiter(prod, task.ID)
+				r.abortAttempt(p, task, nodeID, slot, dev, bodyStart)
+				return attemptLostInput
+			}
+			// A workflow input is durable at its archival source:
+			// re-stage it onto this node through the network.
+			node.NIC.Transfer(p, in.Bytes)
+			r.clu.Shared.Transfer(p, in.Bytes)
+			r.store.Place(in.ID, nodeID)
+			r.stats.InputRestages++
+		}
 		readBytes += in.Bytes
 	}
-	ref.Inputs = nil
 	if readBytes > 0 {
 		p.Wait(readBytes / r.params.DeserRate / speed)
 	}
-	r.rec(task, nodeID, core, dev, metrics.StageDeser, dStart, p.Now())
+	r.rec(buf, task, nodeID, core, dev, metrics.StageDeser, dStart, p.Now())
+	if inj != nil && inj.Epoch(nodeID) != epoch {
+		r.abortAttempt(p, task, nodeID, slot, dev, bodyStart)
+		return attemptCrashed
+	}
 
 	// --- User code.
 	switch dev {
@@ -428,32 +599,48 @@ func (r *simRun) taskProc(p *sim.Proc) {
 		if prof.BytesIn > 0 {
 			node.PCIe.Transfer(p, prof.BytesIn)
 		}
-		r.rec(task, nodeID, core, dev, metrics.StageCommIn, gStart, p.Now())
+		r.rec(buf, task, nodeID, core, dev, metrics.StageCommIn, gStart, p.Now())
 
 		kStart := p.Now()
-		p.Wait(r.params.ParallelTime(prof, costmodel.GPU))
-		r.rec(task, nodeID, core, dev, metrics.StageParallel, kStart, p.Now())
+		kt := r.params.ParallelTime(prof, costmodel.GPU)
+		if failNow {
+			// The injected failure strikes partway through the kernel.
+			p.Wait(kt * failFrac)
+			r.abortAttempt(p, task, nodeID, slot, dev, bodyStart)
+			return attemptFailed
+		}
+		p.Wait(kt)
+		r.rec(buf, task, nodeID, core, dev, metrics.StageParallel, kStart, p.Now())
 
 		oStart := p.Now()
 		if prof.BytesOut > 0 {
 			node.PCIe.Transfer(p, prof.BytesOut)
 		}
-		r.rec(task, nodeID, core, dev, metrics.StageCommOut, oStart, p.Now())
+		r.rec(buf, task, nodeID, core, dev, metrics.StageCommOut, oStart, p.Now())
 	case costmodel.CPU:
 		kStart := p.Now()
+		var kt float64
 		if prof.ParallelOps > 0 {
-			t := r.params.ParallelTime(prof, costmodel.CPU)
+			kt = r.params.ParallelTime(prof, costmodel.CPU)
 			// A task alone at its DAG level has no task-level
 			// parallelism to protect: its vectorized kernel spreads over
 			// the node's idle cores (NumPy/BLAS threading), which is why
 			// the paper's parallel-task time *drops* at the maximum
 			// block size (§5.3) instead of growing further.
 			if r.levelWidth[task.Level] == 1 {
-				t /= r.params.SoloThreadSpeedup
+				kt /= r.params.SoloThreadSpeedup
 			}
-			p.Wait(t / speed)
+			kt /= speed
 		}
-		r.rec(task, nodeID, core, dev, metrics.StageParallel, kStart, p.Now())
+		if failNow {
+			p.Wait(kt * failFrac)
+			r.abortAttempt(p, task, nodeID, slot, dev, bodyStart)
+			return attemptFailed
+		}
+		if kt > 0 {
+			p.Wait(kt)
+		}
+		r.rec(buf, task, nodeID, core, dev, metrics.StageParallel, kStart, p.Now())
 	}
 
 	// Serial fraction always runs on the host core (§3.3).
@@ -461,7 +648,11 @@ func (r *simRun) taskProc(p *sim.Proc) {
 	if prof.SerialOps > 0 {
 		p.Wait(r.params.SerialTime(prof) / speed)
 	}
-	r.rec(task, nodeID, core, dev, metrics.StageSerial, sStart, p.Now())
+	r.rec(buf, task, nodeID, core, dev, metrics.StageSerial, sStart, p.Now())
+	if inj != nil && inj.Epoch(nodeID) != epoch {
+		r.abortAttempt(p, task, nodeID, slot, dev, bodyStart)
+		return attemptCrashed
+	}
 
 	// --- Serialization: CPU encode, then storage writes of every output.
 	wStart := p.Now()
@@ -481,7 +672,19 @@ func (r *simRun) taskProc(p *sim.Proc) {
 			r.store.Write(p, node, id, r.wf.SizeByID(id))
 		}
 	}
-	r.rec(task, nodeID, core, dev, metrics.StageSer, wStart, p.Now())
+	r.rec(buf, task, nodeID, core, dev, metrics.StageSer, wStart, p.Now())
+	if inj != nil && inj.Epoch(nodeID) != epoch {
+		// The node died while the attempt was writing; local copies of
+		// its outputs died with it (shared storage keeps them — Drop is
+		// a no-op there).
+		for i, prm := range task.Params {
+			if prm.Writes() {
+				r.store.Drop(ids[i])
+			}
+		}
+		r.abortAttempt(p, task, nodeID, slot, dev, bodyStart)
+		return attemptCrashed
+	}
 
 	if dev == costmodel.GPU {
 		node.GPUs.Release()
@@ -489,14 +692,125 @@ func (r *simRun) taskProc(p *sim.Proc) {
 	r.releaseSlot(nodeID, slot)
 	node.Cores.Release()
 	r.load[nodeID]--
-	r.done++
-
-	// Release successors whose dependencies are now all met, in ID order.
-	for _, s := range task.Succs() {
-		r.remaining[s]--
-		if r.remaining[s] == 0 {
-			r.enqueue(r.wf.Graph.Task(s))
+	if buf != nil {
+		for i := 0; i < buf.n; i++ {
+			r.collector.Add(buf.recs[i])
 		}
+		if r.doneTask[task.ID] {
+			// A lineage re-execution of an already-completed producer.
+			r.stats.RecoveryWork += p.Now() - bodyStart
+		}
+	}
+	return attemptDone
+}
+
+// abortAttempt releases everything a doomed attempt holds and records its
+// wasted span as a single StageRecovery record — the core time the fault
+// burned, visible in traces and Gantt timelines as 'x'.
+func (r *simRun) abortAttempt(p *sim.Proc, task *dag.Task, nodeID, slot int,
+	dev costmodel.DeviceKind, bodyStart float64) {
+	node := r.clu.Node(nodeID)
+	if dev == costmodel.GPU {
+		node.GPUs.Release()
+	}
+	r.releaseSlot(nodeID, slot)
+	node.Cores.Release()
+	r.load[nodeID]--
+	r.stats.WastedWork += p.Now() - bodyStart
+	r.collector.Add(metrics.Record{
+		TaskID: task.ID, TaskName: task.Name, Level: task.Level,
+		Node: nodeID, Core: nodeID*r.cfg.Cluster.CoresPerNode + slot, Device: dev.String(),
+		Stage: metrics.StageRecovery, Start: bodyStart, End: p.Now(),
+	})
+}
+
+// panicUnknownRead is the fault-free-path assertion for a missed block
+// read: with no injection, every input must have been placed or written
+// before its consumer dispatched, so a miss is a placement bug.
+func (r *simRun) panicUnknownRead(task *dag.Task, id int32) {
+	panic(fmt.Sprintf("runtime: task %d (%s) read unknown block %d with fault injection off — block placement bug",
+		task.ID, task.Name, id))
+}
+
+// producerOf returns the dependency of task that writes datum id, or -1
+// when no dependency produces it (the datum is a workflow input). The
+// scan is the lineage walk: dependencies hold every producer the DAG's
+// last-writer edge inference linked to this task.
+func (r *simRun) producerOf(task *dag.Task, id int32) int {
+	for _, dep := range task.Deps() {
+		dt := r.wf.Graph.Task(dep)
+		ids := dt.DataIDs()
+		for i, prm := range dt.Params {
+			if prm.Writes() && ids[i] == id {
+				return dep
+			}
+		}
+	}
+	return -1
+}
+
+// addWaiter parks a task on a producer's re-execution and submits the
+// producer if it is not already queued or running.
+func (r *simRun) addWaiter(prod, waiter int) {
+	r.waiters[prod] = append(r.waiters[prod], int32(waiter))
+	if !r.inFlight[prod] {
+		r.stats.LineageRecomputes++
+		r.enqueue(r.wf.Graph.Task(prod))
+	}
+}
+
+// completeTask runs the completion bookkeeping for a successful attempt:
+// successor release on first completion, lineage-waiter wake-up on every
+// completion, and injector shutdown when the workflow is done (pending
+// fault events would otherwise keep the virtual clock alive forever).
+func (r *simRun) completeTask(task *dag.Task) {
+	if r.faults == nil {
+		r.done++
+		for _, s := range task.Succs() {
+			r.remaining[s]--
+			if r.remaining[s] == 0 {
+				r.enqueue(r.wf.Graph.Task(s))
+			}
+		}
+		return
+	}
+	r.inFlight[task.ID] = false
+	if !r.doneTask[task.ID] {
+		r.doneTask[task.ID] = true
+		r.done++
+		for _, s := range task.Succs() {
+			r.remaining[s]--
+			if r.remaining[s] == 0 {
+				r.enqueue(r.wf.Graph.Task(s))
+			}
+		}
+	}
+	if ws := r.waiters[task.ID]; len(ws) > 0 {
+		r.waiters[task.ID] = ws[:0]
+		for _, w := range ws {
+			r.enqueue(r.wf.Graph.Task(int(w)))
+		}
+	}
+	if r.done == r.wf.Graph.Len() {
+		r.faults.Stop()
+	}
+}
+
+// onNodeCrash fires engine-side at a crash instant: whatever the node's
+// local disk held is gone. Tasks running on the node notice at their next
+// stage boundary (epoch mismatch) and re-queue themselves.
+func (r *simRun) onNodeCrash(node int) {
+	r.stats.Crashes++
+	r.stats.BlocksLost += r.store.Invalidate(node)
+}
+
+// onNodeRepair fires engine-side when a node rejoins: refs that stalled
+// with the whole cluster down re-enter the ready queue.
+func (r *simRun) onNodeRepair(int) {
+	for r.stalled.Len() > 0 {
+		ref, _ := r.stalled.PopFront()
+		r.queue.Push(ref)
+		r.eng.Schedule(0, r.requestFn)
 	}
 }
 

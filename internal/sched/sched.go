@@ -35,6 +35,10 @@ type TaskRef struct {
 	ID     int
 	Name   string
 	Inputs []DataLoc
+	// Enqueued is the virtual instant the task entered the ready queue.
+	// It rides with the ref so queue disciplines that reorder dispatch
+	// (LIFO) still attribute the correct wait to each task.
+	Enqueued float64
 }
 
 // View is the scheduler-visible cluster state.
@@ -46,14 +50,21 @@ type View struct {
 	// Locate resolves a datum ID to its holding node (local-disk
 	// storage); shared storage always reports no affinity.
 	Locate func(id int32) (int, bool)
+	// Up marks nodes accepting work; nil means every node is up (the
+	// fault-free case). Placement never targets a down node; Place
+	// returns -1 when no node is up.
+	Up []bool
 }
 
-// leastLoaded returns the node with the fewest outstanding tasks, lowest
-// ID winning ties (deterministic).
+// UpNode reports whether node n accepts work.
+func (v *View) UpNode(n int) bool { return v.Up == nil || v.Up[n] }
+
+// leastLoaded returns the up node with the fewest outstanding tasks,
+// lowest ID winning ties (deterministic), or -1 when every node is down.
 func (v *View) leastLoaded() int {
-	best, bestLoad := 0, int(^uint(0)>>1)
+	best, bestLoad := -1, int(^uint(0)>>1)
 	for n := 0; n < v.NumNodes; n++ {
-		if v.Load[n] < bestLoad {
+		if v.UpNode(n) && v.Load[n] < bestLoad {
 			best, bestLoad = n, v.Load[n]
 		}
 	}
@@ -188,10 +199,12 @@ func (lifoSched) Next(q *Queue) (TaskRef, bool)       { return q.PopBack() }
 func (lifoSched) Place(t TaskRef, v *View) int        { return v.leastLoaded() }
 
 // localitySched carries reusable per-node scratch so a placement decision
-// performs zero allocations: byNode tallies resident input bytes per node
-// and touched remembers which entries to reset afterwards.
+// performs zero allocations: byNode tallies resident input bytes per node,
+// seen tracks membership, and touched remembers which entries to reset
+// afterwards.
 type localitySched struct {
 	byNode  []float64
+	seen    []bool
 	touched []int
 }
 
@@ -208,10 +221,15 @@ func (*localitySched) Next(q *Queue) (TaskRef, bool)       { return q.PopFront()
 func (l *localitySched) Place(t TaskRef, v *View) int {
 	if len(l.byNode) < v.NumNodes {
 		l.byNode = make([]float64, v.NumNodes)
+		l.seen = make([]bool, v.NumNodes)
 	}
 	for _, in := range t.Inputs {
-		if n, ok := v.Locate(in.ID); ok && n >= 0 {
-			if l.byNode[n] == 0 {
+		// Membership is tracked explicitly (seen), not via byNode[n] == 0:
+		// zero-byte inputs are legal, and keying on the tally would append
+		// the same node to touched once per such input.
+		if n, ok := v.Locate(in.ID); ok && n >= 0 && v.UpNode(n) {
+			if !l.seen[n] {
+				l.seen[n] = true
 				l.touched = append(l.touched, n)
 			}
 			l.byNode[n] += in.Bytes
@@ -229,6 +247,7 @@ func (l *localitySched) Place(t TaskRef, v *View) int {
 	}
 	for _, n := range l.touched {
 		l.byNode[n] = 0
+		l.seen[n] = false
 	}
 	l.touched = l.touched[:0]
 	if best < 0 {
@@ -244,4 +263,16 @@ type randomSched struct {
 func (*randomSched) Policy() Policy                      { return Random }
 func (*randomSched) Overhead(p costmodel.Params) float64 { return p.SchedFIFO }
 func (*randomSched) Next(q *Queue) (TaskRef, bool)       { return q.PopFront() }
-func (r *randomSched) Place(t TaskRef, v *View) int      { return r.rng.IntN(v.NumNodes) }
+
+// Place draws a uniform node; with down nodes it keeps the single draw
+// (so the fault-free stream is untouched) and scans forward to the next
+// up node, returning -1 when the whole cluster is down.
+func (r *randomSched) Place(t TaskRef, v *View) int {
+	n := r.rng.IntN(v.NumNodes)
+	for k := 0; k < v.NumNodes; k++ {
+		if c := (n + k) % v.NumNodes; v.UpNode(c) {
+			return c
+		}
+	}
+	return -1
+}

@@ -154,3 +154,94 @@ func TestPolicyStrings(t *testing.T) {
 		}
 	}
 }
+
+// TestLocalityZeroByteInputsSingleTouch is the regression test for the
+// duplicate-scratch bug: membership in the touched list was keyed on the
+// byte tally (byNode[n] == 0), which stays true for zero-byte inputs —
+// legal per Workflow — so the same node was appended once per such input.
+func TestLocalityZeroByteInputsSingleTouch(t *testing.T) {
+	s, _ := New(Locality, 0)
+	l := s.(*localitySched)
+	v := &View{
+		NumNodes: 4,
+		Load:     []int{9, 0, 0, 0},
+		Locate:   func(id int32) (int, bool) { return 0, true },
+	}
+	inputs := make([]DataLoc, 256) // zero-byte blocks, all located on node 0
+	for i := range inputs {
+		inputs[i] = DataLoc{ID: int32(i)}
+	}
+	// Zero resident bytes carry no locality signal: least-loaded fallback.
+	if got := l.Place(TaskRef{Inputs: inputs}, v); got != 1 {
+		t.Errorf("Place = %d, want least-loaded node 1", got)
+	}
+	if c := cap(l.touched); c > v.NumNodes {
+		t.Errorf("touched scratch grew to %d entries for %d nodes — duplicate entries per zero-byte input", c, v.NumNodes)
+	}
+	// Zero-byte inputs must not drown out a real locality signal either.
+	inputs = append(inputs, DataLoc{ID: 999, Bytes: 100})
+	locs := func(id int32) (int, bool) {
+		if id == 999 {
+			return 2, true
+		}
+		return 0, true
+	}
+	v.Locate = locs
+	if got := l.Place(TaskRef{Inputs: inputs}, v); got != 2 {
+		t.Errorf("Place = %d, want node 2 holding the only real bytes", got)
+	}
+}
+
+// TestPlacementSkipsDownNodes covers the fault-injection view: no policy
+// may target a down node, and placement reports -1 when the whole cluster
+// is down.
+func TestPlacementSkipsDownNodes(t *testing.T) {
+	up := []bool{false, true, false, true}
+	v := &View{NumNodes: 4, Load: []int{0, 5, 0, 1}, Up: up,
+		Locate: func(int32) (int, bool) { return -1, false }}
+	for _, pol := range []Policy{FIFO, LIFO} {
+		s, _ := New(pol, 0)
+		if n := s.Place(TaskRef{}, v); n != 3 {
+			t.Errorf("%v placed on %d, want least-loaded up node 3", pol, n)
+		}
+	}
+	rnd, _ := New(Random, 42)
+	for i := 0; i < 50; i++ {
+		if n := rnd.Place(TaskRef{}, v); !up[n] {
+			t.Fatalf("random placement chose down node %d", n)
+		}
+	}
+	// Locality must ignore data resident on a down node.
+	loc, _ := New(Locality, 0)
+	vLoc := &View{NumNodes: 4, Load: []int{0, 5, 0, 1}, Up: up,
+		Locate: func(int32) (int, bool) { return 0, true }}
+	if n := loc.Place(TaskRef{Inputs: []DataLoc{{ID: 1, Bytes: 100}}}, vLoc); n != 3 {
+		t.Errorf("locality placed on %d, want 3 (data owner is down)", n)
+	}
+	// Whole cluster down: every policy reports -1.
+	allDown := &View{NumNodes: 2, Load: []int{0, 0}, Up: []bool{false, false},
+		Locate: func(int32) (int, bool) { return -1, false }}
+	for _, pol := range []Policy{FIFO, Locality, LIFO, Random} {
+		s, _ := New(pol, 0)
+		if n := s.Place(TaskRef{}, allDown); n != -1 {
+			t.Errorf("%v placed on %d with every node down, want -1", pol, n)
+		}
+	}
+}
+
+// TestTaskRefCarriesEnqueueInstant pins that queue disciplines preserve
+// each ref's own enqueue timestamp through reordering (the LIFO
+// attribution fix; the end-to-end check lives in the runtime tests).
+func TestTaskRefCarriesEnqueueInstant(t *testing.T) {
+	q := &Queue{}
+	for i := 0; i < 4; i++ {
+		q.Push(TaskRef{ID: i, Enqueued: float64(i) * 1.5})
+	}
+	lifo, _ := New(LIFO, 0)
+	for want := 3; want >= 0; want-- {
+		ref, ok := lifo.Next(q)
+		if !ok || ref.ID != want || ref.Enqueued != float64(want)*1.5 {
+			t.Fatalf("LIFO popped %+v, want ID %d with Enqueued %v", ref, want, float64(want)*1.5)
+		}
+	}
+}

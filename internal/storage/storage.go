@@ -54,11 +54,23 @@ type System interface {
 	// unknown block). The data-locality scheduler uses this.
 	Location(id int32) (int, bool)
 	// Read streams the block's bytes to the reader node, blocking p in
-	// virtual time, and returns the I/O duration.
-	Read(p *sim.Proc, reader *cluster.Node, id int32, bytes float64) float64
+	// virtual time, and returns the I/O duration. A block the system has
+	// no record of is an explicit miss: Read returns (0, false) without
+	// simulating any I/O. In a fault-free run a miss is a placement bug
+	// (the runtime asserts on it); under fault injection it means the
+	// block died with a node's local disk and must be recovered.
+	Read(p *sim.Proc, reader *cluster.Node, id int32, bytes float64) (float64, bool)
 	// Write streams bytes from the writer node to storage, records the
 	// new block location, and returns the I/O duration.
 	Write(p *sim.Proc, writer *cluster.Node, id int32, bytes float64) float64
+	// Invalidate discards every block whose only copy lives on the given
+	// node (a crash takes the node's local disk with it) and returns the
+	// number of blocks lost. Shared storage survives node loss untouched
+	// and always returns 0.
+	Invalidate(node int) int
+	// Drop forgets one block (an aborted attempt's write on a crashed
+	// node). A no-op for shared storage, where writes are durable.
+	Drop(id int32)
 }
 
 // LocalDisks is the node-local architecture.
@@ -103,12 +115,15 @@ func (l *LocalDisks) Location(id int32) (int, bool) {
 
 // Read implements System. Local hits cost the node disk; remote reads
 // stream through the owner's disk, the owner's NIC and the reader's NIC.
-func (l *LocalDisks) Read(p *sim.Proc, reader *cluster.Node, id int32, bytes float64) float64 {
-	start := p.Now()
-	owner := reader.ID // unplaced data is treated as local scratch
-	if n, ok := l.Location(id); ok {
-		owner = n
+// An unplaced block is a miss, not a free local hit — silently treating it
+// as local scratch masked placement bugs and made lost blocks
+// unobservable.
+func (l *LocalDisks) Read(p *sim.Proc, reader *cluster.Node, id int32, bytes float64) (float64, bool) {
+	owner, ok := l.Location(id)
+	if !ok {
+		return 0, false
 	}
+	start := p.Now()
 	if owner == reader.ID {
 		reader.Disk.Transfer(p, bytes)
 	} else {
@@ -117,7 +132,26 @@ func (l *LocalDisks) Read(p *sim.Proc, reader *cluster.Node, id int32, bytes flo
 		ownerNode.NIC.Transfer(p, bytes)
 		reader.NIC.Transfer(p, bytes)
 	}
-	return p.Now() - start
+	return p.Now() - start, true
+}
+
+// Invalidate implements System: a crashed node's disk contents are gone.
+func (l *LocalDisks) Invalidate(node int) int {
+	lost := 0
+	for i, n := range l.loc {
+		if n == int32(node) {
+			l.loc[i] = -1
+			lost++
+		}
+	}
+	return lost
+}
+
+// Drop implements System.
+func (l *LocalDisks) Drop(id int32) {
+	if int(id) < len(l.loc) {
+		l.loc[id] = -1
+	}
 }
 
 // Write implements System. Output blocks land on the writer's local disk,
@@ -164,12 +198,22 @@ func (s *SharedDisk) Place(id int32, node int) {
 func (s *SharedDisk) Location(id int32) (int, bool) { return -1, false }
 
 // Read implements System: reader NIC + shared backend, both contended.
-func (s *SharedDisk) Read(p *sim.Proc, reader *cluster.Node, id int32, bytes float64) float64 {
+// A block never written to the backend is a miss.
+func (s *SharedDisk) Read(p *sim.Proc, reader *cluster.Node, id int32, bytes float64) (float64, bool) {
+	if int(id) >= len(s.known) || !s.known[id] {
+		return 0, false
+	}
 	start := p.Now()
 	reader.NIC.Transfer(p, bytes)
 	s.c.Shared.Transfer(p, bytes)
-	return p.Now() - start
+	return p.Now() - start, true
 }
+
+// Invalidate implements System: the decoupled backend survives node loss.
+func (s *SharedDisk) Invalidate(node int) int { return 0 }
+
+// Drop implements System: shared writes are durable once issued.
+func (s *SharedDisk) Drop(id int32) {}
 
 // Write implements System.
 func (s *SharedDisk) Write(p *sim.Proc, writer *cluster.Node, id int32, bytes float64) float64 {

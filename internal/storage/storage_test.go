@@ -27,11 +27,11 @@ func TestLocalReadLocalVsRemote(t *testing.T) {
 	sys.Place(blk, 0)
 	var localT, remoteT float64
 	eng.Go("local", func(p *sim.Proc) {
-		localT = sys.Read(p, c.Node(0), blk, 100e6)
+		localT, _ = sys.Read(p, c.Node(0), blk, 100e6)
 	})
 	eng.Go("remote", func(p *sim.Proc) {
 		p.Wait(10) // avoid contention with the local read
-		remoteT = sys.Read(p, c.Node(1), blk, 100e6)
+		remoteT, _ = sys.Read(p, c.Node(1), blk, 100e6)
 	})
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
@@ -60,21 +60,85 @@ func TestLocalWriteRelocates(t *testing.T) {
 	}
 }
 
-func TestLocalUnknownKeyTreatedAsLocal(t *testing.T) {
+func TestLocalUnknownKeyIsMiss(t *testing.T) {
+	// Regression: an unplaced block used to be silently served as a free
+	// "local scratch" hit, masking placement bugs and making lost blocks
+	// unobservable. It must be an explicit miss with zero simulated I/O.
 	eng, c := buildCluster(t)
 	sys := NewLocal(c, 4)
 	if _, ok := sys.Location(int32(9)); ok {
 		t.Fatal("unknown key located")
 	}
 	var d float64
+	ok := true
 	eng.Go("r", func(p *sim.Proc) {
-		d = sys.Read(p, c.Node(2), int32(9), 1e6)
+		d, ok = sys.Read(p, c.Node(2), int32(9), 1e6)
 	})
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if d <= 0 {
-		t.Fatal("scratch read took no time")
+	if ok {
+		t.Fatal("unknown block read reported a hit")
+	}
+	if d != 0 {
+		t.Fatalf("miss cost %v seconds of I/O, want 0", d)
+	}
+}
+
+func TestSharedUnknownKeyIsMiss(t *testing.T) {
+	eng, c := buildCluster(t)
+	sys := NewShared(c, 4)
+	var d float64
+	ok := true
+	eng.Go("r", func(p *sim.Proc) {
+		d, ok = sys.Read(p, c.Node(0), int32(9), 1e6)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ok || d != 0 {
+		t.Fatalf("unknown shared block read = (%v, %v), want (0, false)", d, ok)
+	}
+}
+
+func TestLocalInvalidateAndDrop(t *testing.T) {
+	_, c := buildCluster(t)
+	sys := NewLocal(c, 8)
+	sys.Place(int32(0), 1)
+	sys.Place(int32(1), 1)
+	sys.Place(int32(2), 2)
+	if lost := sys.Invalidate(1); lost != 2 {
+		t.Fatalf("Invalidate(1) lost %d blocks, want 2", lost)
+	}
+	if _, ok := sys.Location(int32(0)); ok {
+		t.Fatal("invalidated block still located")
+	}
+	if n, ok := sys.Location(int32(2)); !ok || n != 2 {
+		t.Fatal("unrelated block lost by Invalidate")
+	}
+	sys.Drop(int32(2))
+	if _, ok := sys.Location(int32(2)); ok {
+		t.Fatal("dropped block still located")
+	}
+}
+
+func TestSharedSurvivesInvalidate(t *testing.T) {
+	eng, c := buildCluster(t)
+	sys := NewShared(c, 4)
+	sys.Place(blk, 0)
+	if lost := sys.Invalidate(0); lost != 0 {
+		t.Fatalf("shared Invalidate lost %d blocks, want 0", lost)
+	}
+	sys.Drop(blk) // durable: must be a no-op
+	ok := false
+	eng.Go("r", func(p *sim.Proc) {
+		_, ok = sys.Read(p, c.Node(1), blk, 1e6)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("shared block lost across node invalidation")
 	}
 }
 
@@ -87,7 +151,7 @@ func TestSharedNoAffinity(t *testing.T) {
 	}
 	var d float64
 	eng.Go("r", func(p *sim.Proc) {
-		d = sys.Read(p, c.Node(1), blk, 50e6)
+		d, _ = sys.Read(p, c.Node(1), blk, 50e6)
 	})
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
@@ -105,19 +169,22 @@ func TestSharedContention(t *testing.T) {
 	// ~2x the solo duration (backend fair sharing).
 	eng, c := buildCluster(t)
 	sys := NewShared(c, 4)
+	sys.Place(int32(0), 0)
+	sys.Place(int32(1), 0)
 	solo := func() float64 {
 		e2, c2 := buildCluster(t)
 		s2 := NewShared(c2, 4)
+		s2.Place(int32(0), 0)
 		var d float64
-		e2.Go("r", func(p *sim.Proc) { d = s2.Read(p, c2.Node(0), int32(0), 500e6) })
+		e2.Go("r", func(p *sim.Proc) { d, _ = s2.Read(p, c2.Node(0), int32(0), 500e6) })
 		if err := e2.Run(); err != nil {
 			t.Fatal(err)
 		}
 		return d
 	}()
 	var d1, d2 float64
-	eng.Go("a", func(p *sim.Proc) { d1 = sys.Read(p, c.Node(0), int32(0), 500e6) })
-	eng.Go("b", func(p *sim.Proc) { d2 = sys.Read(p, c.Node(1), int32(1), 500e6) })
+	eng.Go("a", func(p *sim.Proc) { d1, _ = sys.Read(p, c.Node(0), int32(0), 500e6) })
+	eng.Go("b", func(p *sim.Proc) { d2, _ = sys.Read(p, c.Node(1), int32(1), 500e6) })
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -133,14 +200,15 @@ func TestSharedSlowerThanLocalHit(t *testing.T) {
 	local := NewLocal(cL, 4)
 	local.Place(blk, 0)
 	var tLocal float64
-	engL.Go("r", func(p *sim.Proc) { tLocal = local.Read(p, cL.Node(0), blk, 200e6) })
+	engL.Go("r", func(p *sim.Proc) { tLocal, _ = local.Read(p, cL.Node(0), blk, 200e6) })
 	if err := engL.Run(); err != nil {
 		t.Fatal(err)
 	}
 	engS, cS := buildCluster(t)
 	shared := NewShared(cS, 4)
+	shared.Place(blk, 0)
 	var tShared float64
-	engS.Go("r", func(p *sim.Proc) { tShared = shared.Read(p, cS.Node(0), blk, 200e6) })
+	engS.Go("r", func(p *sim.Proc) { tShared, _ = shared.Read(p, cS.Node(0), blk, 200e6) })
 	if err := engS.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -170,6 +238,7 @@ func TestSharedSlowerThanLocalHit(t *testing.T) {
 	var endS float64
 	for i := 0; i < 4; i++ {
 		i := i
+		shared2.Place(key(i), 0)
 		engS2.Go("r", func(p *sim.Proc) {
 			shared2.Read(p, cS2.Node(i), key(i), 500e6)
 			if p.Now() > endS {

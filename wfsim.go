@@ -34,6 +34,7 @@ import (
 	"wfsim/internal/dataset"
 	"wfsim/internal/dsarray"
 	"wfsim/internal/experiments"
+	"wfsim/internal/faults"
 	"wfsim/internal/model"
 	"wfsim/internal/runner"
 	"wfsim/internal/runtime"
@@ -54,6 +55,12 @@ type (
 	SimConfig = runtime.SimConfig
 	// SimResult carries simulated metrics.
 	SimResult = runtime.SimResult
+	// FaultConfig parameterizes deterministic failure injection
+	// (SimConfig.Faults); the zero value disables it.
+	FaultConfig = faults.Config
+	// FaultStats summarizes injected failures and recovery cost
+	// (SimResult.Faults).
+	FaultStats = runtime.FaultStats
 	// LocalConfig controls real execution.
 	LocalConfig = runtime.LocalConfig
 	// LocalResult carries real-execution results.

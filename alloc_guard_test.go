@@ -76,4 +76,54 @@ func TestSimAllocBudget(t *testing.T) {
 			}
 		})
 	}
+
+	// The multi-tenant substrate must hold the same budget: the fair-share
+	// gate, tenant accounting and per-session indirection may not put
+	// allocations on the per-task path. Two tenants submit overlapping
+	// K-means workflows onto one shared cluster; per-session fixed costs
+	// (session structs, collectors, quota bookkeeping) cancel between the
+	// shallow and deep measurement exactly like per-run costs do above.
+	t.Run("two-tenant-multiplexed", func(t *testing.T) {
+		const (
+			shallowIters = 2
+			deepIters    = 12
+			grid         = 64
+			budget       = 6.0
+		)
+		multiAllocs := func(iterations int) float64 {
+			return testing.AllocsPerRun(3, func() {
+				cs, err := wfsim.NewClusterSim(wfsim.SimConfig{Device: wfsim.GPU},
+					[]wfsim.TenantSpec{{Weight: 2}, {Weight: 1}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for tenant := 0; tenant < 2; tenant++ {
+					wf, err := wfsim.BuildKMeans(wfsim.KMeansConfig{
+						Dataset: wfsim.Datasets.KMeansSmall, Grid: grid, Clusters: 10,
+						Iterations: iterations,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					err = cs.Submit(tenant, wf, float64(tenant)*0.5, func(wfsim.WorkflowResult) {})
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := cs.Run(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+		multiAllocs(deepIters)
+		shallow := multiAllocs(shallowIters)
+		deep := multiAllocs(deepIters)
+		marginalTasks := float64(2 * (grid + 1) * (deepIters - shallowIters))
+		perTask := (deep - shallow) / marginalTasks
+		t.Logf("allocs: shallow=%.0f deep=%.0f marginal/task=%.2f (budget %v)",
+			shallow, deep, perTask, budget)
+		if perTask > budget {
+			t.Errorf("multi-tenant hot path allocates %.2f allocations per task, budget %v", perTask, budget)
+		}
+	})
 }

@@ -10,6 +10,9 @@
 //	wfsim sweep [-alg kmeans|matmul] [-dataset small|large|tiny]
 //	                                   print a block-size sweep (CPU vs GPU)
 //	wfsim trace [-grid g] [-out file]  run K-means and dump a Paraver-like trace
+//	wfsim service [-tenants n] [-load l] [-arrivals poisson|g1,g2,...]
+//	                                   serve a stream of workflows on one shared cluster and
+//	                                   report per-tenant queue wait / response / slowdown
 //
 // The CLI reports real elapsed time to humans, so it is wall-clock layer
 // by design and exempt from the walltime determinism lint.
@@ -36,6 +39,7 @@ import (
 	"wfsim/internal/model"
 	"wfsim/internal/runner"
 	"wfsim/internal/runtime"
+	"wfsim/internal/service"
 	"wfsim/internal/storage"
 	"wfsim/internal/tables"
 
@@ -97,6 +101,8 @@ func main() {
 		err = cmdAdvise(os.Args[2:])
 	case "gantt":
 		err = cmdGantt(os.Args[2:])
+	case "service":
+		err = cmdService(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -120,8 +126,10 @@ func usage() {
   wfsim trace                      dump a Paraver-like trace of a K-means run
   wfsim advise                     analytic CPU-vs-GPU recommendation for a workload
   wfsim gantt                      ASCII per-core timeline of a simulated run
+  wfsim service                    multi-tenant online simulation: a workflow stream on one cluster
+                                   -tenants N -load L -arrivals poisson|g1,g2,... -count -weights -quota
 
-trace and gantt accept -storage shared|local and deterministic failure
+trace, gantt and service accept -storage shared|local and deterministic failure
 injection: -fault-seed -fault-mtbf -fault-mttr -fault-p -fault-straggler-mtbf`)
 }
 
@@ -449,4 +457,124 @@ func cmdTrace(args []string) error {
 		return res.Collector.WriteCSV(w)
 	}
 	return res.Collector.WritePRV(w)
+}
+
+// cmdService runs the cluster as an online multi-tenant service: a seeded
+// stream of K-means workflows arrives over virtual time on one shared
+// cluster, and the output is per-tenant service statistics rather than a
+// single makespan.
+func cmdService(args []string) error {
+	fs := flag.NewFlagSet("service", flag.ContinueOnError)
+	tenants := fs.Int("tenants", 2, "number of tenants sharing the cluster")
+	load := fs.Float64("load", 1.5, "offered load: cluster-wide arrival rate as a multiple of the isolated completion rate")
+	arrivals := fs.String("arrivals", "poisson", `arrival process: "poisson", or a comma list of interarrival gaps in virtual s (replayed by every tenant)`)
+	count := fs.Int("count", 6, "workflows per tenant (ignored when -arrivals is a trace)")
+	grid := fs.Int64("grid", 32, "K-means grid dimension per workflow")
+	seed := fs.Uint64("seed", 42, "arrival-stream seed")
+	weights := fs.String("weights", "", "comma list of fair-share weights, one per tenant (default equal)")
+	quota := fs.Int("quota", 0, "per-tenant concurrent-task admission quota (0 = unlimited)")
+	gpu := fs.Bool("gpu", true, "GPU-accelerate parallel tasks")
+	sim := simFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tenants <= 0 {
+		return fmt.Errorf("service: -tenants %d, must be positive", *tenants)
+	}
+	dev := costmodel.CPU
+	if *gpu {
+		dev = costmodel.GPU
+	}
+	cfg := runtime.SimConfig{Device: dev}
+	sim(&cfg)
+
+	var w []float64
+	if *weights != "" {
+		for _, s := range strings.Split(*weights, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return fmt.Errorf("service: -weights %q: %w", *weights, err)
+			}
+			w = append(w, v)
+		}
+		if len(w) != *tenants {
+			return fmt.Errorf("service: %d weights for %d tenants", len(w), *tenants)
+		}
+	}
+	var trace []float64
+	if *arrivals != "poisson" {
+		for _, s := range strings.Split(*arrivals, ",") {
+			g, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return fmt.Errorf("service: -arrivals %q: %w", *arrivals, err)
+			}
+			trace = append(trace, g)
+		}
+	}
+
+	build := func(int) (*runtime.Workflow, error) {
+		return kmeans.Build(kmeans.Config{
+			Dataset: dataset.KMeansSmall, Grid: *grid, Clusters: 10, Iterations: 2,
+		})
+	}
+	// The isolated makespan anchors both the Poisson rate (-load is a
+	// multiple of the cluster's lone-workflow completion rate) and the
+	// slowdown denominator, so measure it once here.
+	wf, err := build(0)
+	if err != nil {
+		return err
+	}
+	iso := cfg
+	iso.Faults = faults.Config{}
+	base, err := runtime.RunSim(wf, iso)
+	if err != nil {
+		return err
+	}
+
+	svc := service.Config{Sim: cfg, Seed: *seed}
+	for i := 0; i < *tenants; i++ {
+		t := service.Tenant{
+			Name:     fmt.Sprintf("tenant%d", i),
+			Quota:    *quota,
+			Count:    *count,
+			Build:    build,
+			Baseline: base.Makespan,
+		}
+		if len(w) > 0 {
+			t.Weight = w[i]
+		}
+		if len(trace) > 0 {
+			t.Interarrival, t.Count = trace, len(trace)
+		} else {
+			t.Rate = *load / base.Makespan / float64(*tenants)
+		}
+		svc.Tenants = append(svc.Tenants, t)
+	}
+	res, err := service.Run(svc)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("K-means 10 GB grid %d ×2 iter on %s — isolated makespan %.2fs, load %gx, %d tenants\n",
+		*grid, dev, base.Makespan, *load, *tenants)
+	t := tables.New("", "tenant", "workflows", "tasks",
+		"queue wait p50/p95 (s)", "response p50/p95 (s)", "slowdown p50/p95/p99")
+	for _, ten := range res.Tenants {
+		t.AddRow(ten.Name,
+			fmt.Sprint(ten.Workflows), fmt.Sprint(ten.Tasks),
+			tables.FormatFloat(ten.QueueWait.P50)+" / "+tables.FormatFloat(ten.QueueWait.P95),
+			tables.FormatFloat(ten.Response.P50)+" / "+tables.FormatFloat(ten.Response.P95),
+			fmt.Sprintf("%.2f / %.2f / %.2f", ten.Slowdown.P50, ten.Slowdown.P95, ten.Slowdown.P99))
+	}
+	fmt.Print(t.String())
+	fmt.Printf("\nhorizon %.2fs, core util %.0f%%, gpu util %.0f%%\n",
+		res.Horizon, res.CoreUtilization*100, res.GPUUtilization*100)
+	if cfg.Faults.Enabled() {
+		f := res.Faults
+		fmt.Fprintf(os.Stderr,
+			"faults: %d crashes, %d requeues, %d retries, %d blocks lost, %d recomputes, %d restages, wasted %.2fs, recovery %.2fs\n",
+			f.Crashes, f.CrashRequeues, f.Retries, f.BlocksLost,
+			f.LineageRecomputes, f.InputRestages, f.WastedWork, f.RecoveryWork)
+	}
+	return nil
 }

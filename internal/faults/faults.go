@@ -105,6 +105,31 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// CheckRanges rejects structurally invalid values even on a disabled
+// config. Enabled treats only strictly positive rates as active, so a
+// negative MTBF or failure probability used to silently disable injection
+// — a config typo the caller almost certainly wants surfaced. Unlike
+// Validate it accepts unset (zero) tuning knobs: WithDefaults has not run
+// yet.
+func (c Config) CheckRanges() error {
+	if c.NodeMTBF < 0 || c.NodeMTTR < 0 || c.StragglerMTBF < 0 || c.StragglerDuration < 0 {
+		return fmt.Errorf("faults: negative time constant in %+v", c)
+	}
+	if c.TaskFailProb < 0 || c.TaskFailProb >= 1 {
+		return fmt.Errorf("faults: TaskFailProb %v outside [0, 1)", c.TaskFailProb)
+	}
+	if c.MaxAttempts < 0 {
+		return fmt.Errorf("faults: negative MaxAttempts %d", c.MaxAttempts)
+	}
+	if c.RetryBackoff < 0 {
+		return fmt.Errorf("faults: negative RetryBackoff %v", c.RetryBackoff)
+	}
+	if c.StragglerFactor < 0 || c.StragglerFactor > 1 {
+		return fmt.Errorf("faults: StragglerFactor %v outside [0, 1]", c.StragglerFactor)
+	}
+	return nil
+}
+
 // Backoff returns the re-queue delay after the n-th transient failure of a
 // task (n ≥ 1): RetryBackoff doubling per failure.
 func (c Config) Backoff(n int) float64 {

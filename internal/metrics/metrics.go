@@ -118,6 +118,18 @@ func (c *Collector) Records() []Record {
 	return out
 }
 
+// Each calls fn for every record in insertion order, without copying the
+// backing slice — the streaming-aggregation path for long multi-workflow
+// runs, where Records' per-workflow copy would double peak memory. fn
+// must not call back into the collector.
+func (c *Collector) Each(fn func(Record)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range c.records {
+		fn(r)
+	}
+}
+
 // Len returns the number of records.
 func (c *Collector) Len() int {
 	c.mu.Lock()

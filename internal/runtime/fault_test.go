@@ -109,7 +109,7 @@ func TestLIFOSchedAttribution(t *testing.T) {
 // loudly instead of being served as free local scratch.
 func TestUnknownReadAssertion(t *testing.T) {
 	wf := fanWorkflow(1, testProf)
-	r := &simRun{wf: wf}
+	r := &simRun{}
 	defer func() {
 		msg, ok := recover().(string)
 		if !ok {

@@ -58,6 +58,31 @@ func (c SimConfig) withDefaults() SimConfig {
 	return c
 }
 
+// Validate rejects structurally invalid configurations with an error
+// instead of silently patching them. The zero cluster spec is legal (it
+// means "use the default topology"), but a partially-filled spec with
+// non-positive node or core counts is an error, as are negative fault
+// rates — a disabled-but-negative fault config used to be silently
+// ignored. NodeSpeed entries must be positive; the length-vs-cluster
+// check happens after defaults are applied, where the final node count
+// is known.
+func (c SimConfig) Validate() error {
+	if c.Cluster.Nodes != 0 || c.Cluster.CoresPerNode != 0 || c.Cluster.GPUsPerNode != 0 {
+		if err := c.Cluster.Validate(); err != nil {
+			return fmt.Errorf("runtime: %w", err)
+		}
+	}
+	if err := c.Faults.CheckRanges(); err != nil {
+		return fmt.Errorf("runtime: %w", err)
+	}
+	for i, s := range c.NodeSpeed {
+		if s <= 0 {
+			return fmt.Errorf("runtime: NodeSpeed[%d] = %v, must be positive", i, s)
+		}
+	}
+	return nil
+}
+
 // FaultStats summarizes what failure injection did to a run and what
 // recovery cost. All fields are zero when injection is disabled.
 type FaultStats struct {
@@ -114,23 +139,18 @@ type SimResult struct {
 // OOM" annotations in the paper's figures — without running the workflow,
 // matching how an OOM aborts the paper's real executions.
 func RunSim(wf *Workflow, cfg SimConfig) (*SimResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	if err := wf.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.NodeSpeed != nil {
-		if len(cfg.NodeSpeed) != cfg.Cluster.Nodes {
-			return nil, fmt.Errorf("runtime: NodeSpeed has %d entries for %d nodes",
-				len(cfg.NodeSpeed), cfg.Cluster.Nodes)
-		}
-		for i, s := range cfg.NodeSpeed {
-			if s <= 0 {
-				return nil, fmt.Errorf("runtime: NodeSpeed[%d] = %v, must be positive", i, s)
-			}
-		}
+	if cfg.NodeSpeed != nil && len(cfg.NodeSpeed) != cfg.Cluster.Nodes {
+		return nil, fmt.Errorf("runtime: NodeSpeed has %d entries for %d nodes",
+			len(cfg.NodeSpeed), cfg.Cluster.Nodes)
 	}
-	params := cfg.Params
-	if err := params.Validate(); err != nil {
+	if err := cfg.Params.Validate(); err != nil {
 		return nil, fmt.Errorf("runtime: %w", err)
 	}
 	fcfg := cfg.Faults.WithDefaults()
@@ -139,22 +159,186 @@ func RunSim(wf *Workflow, cfg SimConfig) (*SimResult, error) {
 			return nil, fmt.Errorf("runtime: %w", err)
 		}
 	}
-
-	// Pre-flight memory check over every task at its assigned device.
-	for _, t := range wf.Graph.Tasks() {
-		spec := wf.Spec(t)
-		dev := taskDevice(spec.Profile, cfg.Device)
-		if err := params.CheckMemory(spec.Profile, dev); err != nil {
-			return nil, fmt.Errorf("task %d (%s): %w", t.ID, t.Name, err)
-		}
+	if err := preflightMemory(wf, cfg); err != nil {
+		return nil, err
 	}
 
-	eng := sim.New()
-	clu, err := cluster.Build(eng, cfg.Cluster, *params)
+	run, err := newSimRun(cfg, wf.Graph.NumData())
 	if err != nil {
 		return nil, err
 	}
-	store, err := storage.New(cfg.Storage, clu, wf.Graph.NumData())
+	s := run.addSession(wf, 0, nil)
+
+	if err := run.eng.Run(); err != nil {
+		return nil, fmt.Errorf("runtime: simulation failed: %w", err)
+	}
+	if run.failErr != nil {
+		return nil, run.failErr
+	}
+	if s.done != wf.Graph.Len() {
+		return nil, fmt.Errorf("runtime: %d of %d tasks completed", s.done, wf.Graph.Len())
+	}
+
+	res := &SimResult{
+		Collector:      s.collector,
+		Makespan:       run.eng.Now(),
+		SchedDecisions: s.done,
+	}
+	if run.faults != nil {
+		run.stats.Episodes = run.faults.Episodes()
+		res.Faults = run.stats
+	}
+	res.CoreUtilization, res.GPUUtilization = run.utilization()
+	return res, nil
+}
+
+// preflightMemory checks every task's footprint at its assigned device
+// before any simulation runs, matching how an OOM aborts the paper's real
+// executions before useful work completes.
+func preflightMemory(wf *Workflow, cfg SimConfig) error {
+	for _, t := range wf.Graph.Tasks() {
+		spec := wf.Spec(t)
+		dev := taskDevice(spec.Profile, cfg.Device)
+		if err := cfg.Params.CheckMemory(spec.Profile, dev); err != nil {
+			return fmt.Errorf("task %d (%s): %w", t.ID, t.Name, err)
+		}
+	}
+	return nil
+}
+
+// taskDevice applies the paper's assignment rule: serial tasks to CPUs;
+// partially or fully parallel tasks to GPUs when GPU mode is selected.
+func taskDevice(prof costmodel.Profile, mode costmodel.DeviceKind) costmodel.DeviceKind {
+	if mode == costmodel.GPU && prof.ParallelOps > 0 {
+		return costmodel.GPU
+	}
+	return costmodel.CPU
+}
+
+// session is the state of one submitted workflow instance within a
+// (possibly multiplexed) engine: dependency counters, its own metrics
+// collector, its slice of the global datum-ID space, and the fault-path
+// bookkeeping. A single-workflow run is exactly one session over the
+// substrate; a multi-tenant run streams many sessions through it.
+type session struct {
+	// idx is the session's index in simRun.sessions; refs carry it so the
+	// dispatch path finds the owning session without a map.
+	idx    int32
+	tenant int32
+	wf     *Workflow
+	// collector receives this workflow's stage records only, so teardown
+	// can hand per-workflow metrics back while the cluster keeps running.
+	collector *metrics.Collector
+	remaining []int // unmet dependency count per task
+	// levelWidth is tasks per DAG level (solo-task thread-speedup rule).
+	levelWidth []int
+	// dataBase offsets this workflow's dense datum IDs into the shared
+	// storage system's global ID space: workflows intern IDs from 0
+	// independently, so co-resident sessions must not collide.
+	dataBase  int32
+	submitted float64
+	finished  float64
+	done      int
+	ended     bool
+	// onDone fires engine-side the instant the session's last task
+	// completes; nil for single-workflow runs (RunSim reads the session
+	// directly after the engine drains).
+	onDone func(*session)
+
+	// Fault-path state, nil when injection is disabled.
+	attempts []int32   // transient failures accumulated per task
+	doneTask []bool    // completed at least once (lineage may re-run it)
+	inFlight []bool    // queued or executing right now
+	waiters  [][]int32 // tasks parked on a producer's re-execution
+
+	// counted marks tasks currently holding one unit of their tenant's
+	// admission quota; nil outside multi-tenant mode.
+	counted []bool
+}
+
+// gid maps a workflow-local datum ID into the shared global ID space.
+func (s *session) gid(id int32) int32 { return id + s.dataBase }
+
+// fairShare is the multi-tenant dispatch gate: weighted fair-share tenant
+// selection at every grant, plus per-tenant admission quotas with
+// overflow parking. nil in single-workflow runs, whose dispatch path is
+// byte-identical to the pre-multi-tenant runtime.
+type fairShare struct {
+	weights   []float64
+	served    []float64     // grants charged per tenant (stride accounting)
+	quota     []int         // max concurrently admitted tasks (0 = unlimited)
+	occupancy []int         // admitted (queued or running) tasks per tenant
+	overflow  []sched.Queue // refs parked over quota, admitted FIFO on release
+}
+
+// pick selects the tenant to dispatch for: the backlogged tenant with the
+// lowest served/weight pass, lowest tenant ID on ties (deterministic).
+func (m *fairShare) pick(q *sched.Queue) int32 {
+	best := int32(-1)
+	var bestPass float64
+	for t := range m.weights {
+		if q.TenantLen(int32(t)) == 0 {
+			continue
+		}
+		if pass := m.served[t] / m.weights[t]; best < 0 || pass < bestPass {
+			best, bestPass = int32(t), pass
+		}
+	}
+	if best >= 0 {
+		m.served[best]++
+	}
+	return best
+}
+
+// simRun is the cluster substrate of a simulated execution: the engine,
+// the built cluster, storage, the scheduler and the dispatch machinery,
+// shared by every session it hosts. All fields are touched only from
+// engine context (single-threaded), so no locking.
+type simRun struct {
+	cfg       SimConfig
+	params    *costmodel.Params
+	eng       *sim.Engine
+	clu       *cluster.Cluster
+	store     storage.System
+	scheduler sched.Scheduler
+
+	queue         sched.Queue
+	granted       sched.Queue     // refs popped at grant instants, consumed in grant order
+	view          sched.View      // reused across every placement decision
+	taskProcFn    func(*sim.Proc) // bound once; a per-enqueue method value would allocate
+	requestFn     func()          // bound once: Master.Request
+	schedOverhead float64         // per-decision master service time (policy constant)
+	load          []int           // outstanding tasks per node
+	slots         [][]uint64      // per-node free-core bitmap (bit set = free)
+	inputSlab     []sched.DataLoc
+
+	sessions       []*session
+	active         int   // sessions submitted and not yet finished
+	pendingSubmits int   // arrival events scheduled but not yet fired
+	nextData       int32 // next free global datum ID
+	multi          *fairShare
+
+	// Fault-injection state; every field below is nil/zero and untouched
+	// in a fault-free run, keeping the hot path allocation-free.
+	faults  *faults.Injector
+	fcfg    faults.Config
+	stats   FaultStats
+	stalled sched.Queue // refs dispatched while every node was down
+	failErr error       // fatal failure: retry budget exhausted
+}
+
+// newSimRun builds the substrate: engine, cluster, storage, scheduler,
+// dispatch bindings and (when enabled) the fault injector, scheduled
+// before any session's arrivals so the fault event stream matches the
+// pre-refactor runtime exactly. The caller applies withDefaults and
+// validates first.
+func newSimRun(cfg SimConfig, numDataHint int) (*simRun, error) {
+	eng := sim.New()
+	clu, err := cluster.Build(eng, cfg.Cluster, *cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	store, err := storage.New(cfg.Storage, clu, numDataHint)
 	if err != nil {
 		return nil, err
 	}
@@ -162,61 +346,84 @@ func RunSim(wf *Workflow, cfg SimConfig) (*SimResult, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	run := &simRun{
-		wf: wf, cfg: cfg, params: params,
+	r := &simRun{
+		cfg: cfg, params: cfg.Params,
 		eng: eng, clu: clu, store: store, scheduler: scheduler,
-		collector: metrics.NewCollector(),
-		remaining: make([]int, wf.Graph.Len()),
-		load:      make([]int, cfg.Cluster.Nodes),
-		slots:     make([][]uint64, cfg.Cluster.Nodes),
+		load:  make([]int, cfg.Cluster.Nodes),
+		slots: make([][]uint64, cfg.Cluster.Nodes),
 	}
-	run.taskProcFn = run.taskProc
-	run.requestFn = clu.Master.Request
-	run.schedOverhead = scheduler.Overhead(*params)
+	r.taskProcFn = r.taskProc
+	r.requestFn = clu.Master.Request
+	r.schedOverhead = scheduler.Overhead(*cfg.Params)
 	// The master grant callback pops the ready queue at the exact grant
 	// instant and schedules the task process to start once the decision's
 	// service time has elapsed. Dispatch requests are procless events, so a
 	// ready task costs no goroutine handoffs until it is actually granted.
-	clu.Master.SetOnGrant(run.grantNext)
+	clu.Master.SetOnGrant(r.grantNext)
 	// The scheduler view is stable for the whole run: Load and Locate are
 	// live references into the run state, so one View serves every
 	// placement decision.
-	run.view = sched.View{
+	r.view = sched.View{
 		NumNodes: cfg.Cluster.Nodes,
-		Load:     run.load,
+		Load:     r.load,
 		Locate:   store.Location,
 	}
+	// Core-occupancy bitmaps: bit i set = physical core i free.
+	words := (cfg.Cluster.CoresPerNode + 63) / 64
+	for i := range r.slots {
+		r.slots[i] = make([]uint64, words)
+		for c := 0; c < cfg.Cluster.CoresPerNode; c++ {
+			r.slots[i][c/64] |= 1 << (c % 64)
+		}
+	}
+
+	fcfg := cfg.Faults.WithDefaults()
+	if fcfg.Enabled() {
+		inj := faults.NewInjector(eng, fcfg, cfg.Cluster.Nodes)
+		r.faults = inj
+		r.fcfg = fcfg
+		// The scheduler sees node up/down state live; placement never
+		// targets a down node.
+		r.view.Up = inj.UpNodes()
+		inj.OnCrash = r.onNodeCrash
+		inj.OnRepair = r.onNodeRepair
+		inj.Start()
+	}
+	return r, nil
+}
+
+// addSession registers one workflow on the substrate at the current
+// virtual instant: allocates its session state and datum-ID range,
+// pre-places its input data, and enqueues its dependency-free tasks in
+// generation order. Runs engine-side (or before eng.Run for the
+// single-workflow case, where the instant is 0).
+func (r *simRun) addSession(wf *Workflow, tenant int32, onDone func(*session)) *session {
+	s := &session{
+		idx: int32(len(r.sessions)), tenant: tenant, wf: wf,
+		collector: metrics.NewCollector(),
+		remaining: make([]int, wf.Graph.Len()),
+		dataBase:  r.nextData,
+		submitted: r.eng.Now(),
+		onDone:    onDone,
+	}
+	r.nextData += int32(wf.Graph.NumData())
+	r.sessions = append(r.sessions, s)
+	r.active++
 	// Every record buffer append lands in one up-front allocation: the
 	// record count is bounded by tasks × stages (faulty runs may append
 	// past it; they are not on the allocation-free path anyway).
-	run.collector.Grow(wf.Graph.Len() * metrics.NumStages)
-	// Core-occupancy bitmaps: bit i set = physical core i free.
-	words := (cfg.Cluster.CoresPerNode + 63) / 64
-	for i := range run.slots {
-		run.slots[i] = make([]uint64, words)
-		for c := 0; c < cfg.Cluster.CoresPerNode; c++ {
-			run.slots[i][c/64] |= 1 << (c % 64)
-		}
-	}
+	s.collector.Grow(wf.Graph.Len() * metrics.NumStages)
 	for _, lvl := range wf.Graph.Levels() {
-		run.levelWidth = append(run.levelWidth, len(lvl))
+		s.levelWidth = append(s.levelWidth, len(lvl))
 	}
-
-	if fcfg.Enabled() {
-		inj := faults.NewInjector(eng, fcfg, cfg.Cluster.Nodes)
-		run.faults = inj
-		run.fcfg = fcfg
-		run.attempts = make([]int32, wf.Graph.Len())
-		run.doneTask = make([]bool, wf.Graph.Len())
-		run.inFlight = make([]bool, wf.Graph.Len())
-		run.waiters = make([][]int32, wf.Graph.Len())
-		// The scheduler sees node up/down state live; placement never
-		// targets a down node.
-		run.view.Up = inj.UpNodes()
-		inj.OnCrash = run.onNodeCrash
-		inj.OnRepair = run.onNodeRepair
-		inj.Start()
+	if r.faults != nil {
+		s.attempts = make([]int32, wf.Graph.Len())
+		s.doneTask = make([]bool, wf.Graph.Len())
+		s.inFlight = make([]bool, wf.Graph.Len())
+		s.waiters = make([][]int32, wf.Graph.Len())
+	}
+	if r.multi != nil {
+		s.counted = make([]bool, wf.Graph.Len())
 	}
 
 	// Pre-place workflow input data: shared storage registers the keys;
@@ -229,97 +436,57 @@ func RunSim(wf *Workflow, cfg SimConfig) (*SimResult, error) {
 		return wf.SizeByID(inputs[i]) > wf.SizeByID(inputs[j])
 	})
 	for i, id := range inputs {
-		store.Place(id, i%cfg.Cluster.Nodes)
+		r.store.Place(s.gid(id), i%r.cfg.Cluster.Nodes)
 	}
 
 	// Seed the ready queue with dependency-free tasks in generation order.
 	for _, t := range wf.Graph.Tasks() {
-		run.remaining[t.ID] = len(t.Deps())
+		s.remaining[t.ID] = len(t.Deps())
 	}
 	for _, t := range wf.Graph.Tasks() {
-		if run.remaining[t.ID] == 0 {
-			run.enqueue(t)
+		if s.remaining[t.ID] == 0 {
+			r.enqueue(s, t)
 		}
 	}
+	return s
+}
 
-	if err := eng.Run(); err != nil {
-		return nil, fmt.Errorf("runtime: simulation failed: %w", err)
+// finishSession runs once when a session's last task completes: stamps
+// the finish instant, fires the teardown callback with the session still
+// intact, and stops the fault injector once nothing is left to run
+// (pending fault events would otherwise keep the virtual clock alive
+// forever).
+func (r *simRun) finishSession(s *session) {
+	if s.ended {
+		return
 	}
-	if run.failErr != nil {
-		return nil, run.failErr
+	s.ended = true
+	s.finished = r.eng.Now()
+	r.active--
+	if s.onDone != nil {
+		s.onDone(s)
 	}
-	if run.done != wf.Graph.Len() {
-		return nil, fmt.Errorf("runtime: %d of %d tasks completed", run.done, wf.Graph.Len())
+	if r.faults != nil && r.active == 0 && r.pendingSubmits == 0 {
+		r.faults.Stop()
 	}
+}
 
-	res := &SimResult{
-		Collector:      run.collector,
-		Makespan:       eng.Now(),
-		SchedDecisions: run.done,
-	}
-	if run.faults != nil {
-		run.stats.Episodes = run.faults.Episodes()
-		res.Faults = run.stats
+// utilization returns the cluster's mean core and GPU busy fractions over
+// the elapsed virtual time.
+func (r *simRun) utilization() (core, gpu float64) {
+	if r.eng.Now() <= 0 {
+		return 0, 0
 	}
 	var coreBusy, gpuBusy float64
-	for _, n := range clu.Nodes {
+	for _, n := range r.clu.Nodes {
 		coreBusy += n.Cores.BusyTime()
 		gpuBusy += n.GPUs.BusyTime()
 	}
-	if eng.Now() > 0 {
-		res.CoreUtilization = coreBusy / (float64(cfg.Cluster.TotalCores()) * eng.Now())
-		if cfg.Cluster.TotalGPUs() > 0 {
-			res.GPUUtilization = gpuBusy / (float64(cfg.Cluster.TotalGPUs()) * eng.Now())
-		}
+	core = coreBusy / (float64(r.cfg.Cluster.TotalCores()) * r.eng.Now())
+	if r.cfg.Cluster.TotalGPUs() > 0 {
+		gpu = gpuBusy / (float64(r.cfg.Cluster.TotalGPUs()) * r.eng.Now())
 	}
-	return res, nil
-}
-
-// taskDevice applies the paper's assignment rule: serial tasks to CPUs;
-// partially or fully parallel tasks to GPUs when GPU mode is selected.
-func taskDevice(prof costmodel.Profile, mode costmodel.DeviceKind) costmodel.DeviceKind {
-	if mode == costmodel.GPU && prof.ParallelOps > 0 {
-		return costmodel.GPU
-	}
-	return costmodel.CPU
-}
-
-// simRun is the mutable state of one simulated execution. All fields are
-// touched only from engine context (single-threaded), so no locking.
-type simRun struct {
-	wf        *Workflow
-	cfg       SimConfig
-	params    *costmodel.Params
-	eng       *sim.Engine
-	clu       *cluster.Cluster
-	store     storage.System
-	scheduler sched.Scheduler
-	collector *metrics.Collector
-
-	queue         sched.Queue
-	granted       sched.Queue     // refs popped at grant instants, consumed in grant order
-	view          sched.View      // reused across every placement decision
-	taskProcFn    func(*sim.Proc) // bound once; a per-enqueue method value would allocate
-	requestFn     func()          // bound once: Master.Request
-	schedOverhead float64         // per-decision master service time (policy constant)
-	remaining     []int           // unmet dependency count per task
-	load          []int           // outstanding tasks per node
-	slots         [][]uint64      // per-node free-core bitmap (bit set = free)
-	inputSlab     []sched.DataLoc
-	levelWidth    []int // tasks per DAG level
-	done          int
-
-	// Fault-injection state; every field below is nil/zero and untouched
-	// in a fault-free run, keeping the hot path allocation-free.
-	faults   *faults.Injector
-	fcfg     faults.Config
-	stats    FaultStats
-	attempts []int32     // transient failures accumulated per task
-	doneTask []bool      // completed at least once (lineage may re-run it)
-	inFlight []bool      // queued or executing right now
-	waiters  [][]int32   // tasks parked on a producer's re-execution
-	stalled  sched.Queue // refs dispatched while every node was down
-	failErr  error       // fatal failure: retry budget exhausted
+	return core, gpu
 }
 
 // attemptOutcome classifies how one placed attempt of a task ended.
@@ -392,11 +559,21 @@ func (r *simRun) borrowInputs(n int) []sched.DataLoc {
 // order is unchanged — and no process exists until the master grants the
 // request (grantNext). The enqueue instant rides with the ref so queue
 // disciplines that reorder dispatch still attribute the correct wait.
-func (r *simRun) enqueue(t *dag.Task) {
+//
+// In multi-tenant mode the tenant's admission quota is enforced here, not
+// at the grant: a ref over quota parks in the tenant's overflow queue and
+// files no request, preserving the one-request-per-queued-ref invariant
+// the dispatch gate panics on. Re-enqueues of an admitted task (retries,
+// crash re-queues, lineage waiters) bypass the quota — the task already
+// holds its unit.
+func (r *simRun) enqueue(s *session, t *dag.Task) {
 	if r.failErr != nil {
 		return // fatal failure: the run is draining, nothing new starts
 	}
-	ref := sched.TaskRef{ID: t.ID, Name: t.Name, Enqueued: r.eng.Now()}
+	ref := sched.TaskRef{
+		ID: t.ID, Name: t.Name, Enqueued: r.eng.Now(),
+		Tenant: s.tenant, Session: s.idx,
+	}
 	nReads := 0
 	for _, p := range t.Params {
 		if p.Reads() {
@@ -409,23 +586,54 @@ func (r *simRun) enqueue(t *dag.Task) {
 		for i, p := range t.Params {
 			if p.Reads() {
 				id := ids[i]
-				ref.Inputs = append(ref.Inputs, sched.DataLoc{ID: id, Bytes: r.wf.SizeByID(id)})
+				ref.Inputs = append(ref.Inputs,
+					sched.DataLoc{ID: s.gid(id), Bytes: s.wf.SizeByID(id)})
 			}
 		}
 	}
-	if r.inFlight != nil {
-		r.inFlight[t.ID] = true
+	if s.inFlight != nil {
+		s.inFlight[t.ID] = true
+	}
+	if m := r.multi; m != nil && !s.counted[t.ID] {
+		if q := m.quota[s.tenant]; q > 0 && m.occupancy[s.tenant] >= q {
+			m.overflow[s.tenant].Push(ref)
+			return
+		}
+		s.counted[t.ID] = true
+		m.occupancy[s.tenant]++
 	}
 	r.queue.Push(ref)
 	r.eng.Schedule(0, r.requestFn)
 }
 
+// releaseQuota returns a completed task's admission unit to its tenant
+// and admits parked refs while the tenant is back under quota. Keyed on
+// counted, not on completion alone, so a lineage re-execution of an
+// already-completed producer balances its own re-admission exactly.
+func (r *simRun) releaseQuota(s *session, taskID int) {
+	m := r.multi
+	if m == nil || !s.counted[taskID] {
+		return
+	}
+	s.counted[taskID] = false
+	m.occupancy[s.tenant]--
+	q := m.quota[s.tenant]
+	for m.overflow[s.tenant].Len() > 0 && (q <= 0 || m.occupancy[s.tenant] < q) {
+		ref, _ := m.overflow[s.tenant].PopFront()
+		os := r.sessions[ref.Session]
+		os.counted[ref.ID] = true
+		m.occupancy[s.tenant]++
+		r.queue.Push(ref)
+		r.eng.Schedule(0, r.requestFn)
+	}
+}
+
 // rec appends one stage record, into buf when the attempt is buffered
-// (fault runs) or straight to the collector (fault-free hot path).
-// Explicit arguments instead of a per-task closure keep the record path
-// allocation-free.
-func (r *simRun) rec(buf *attemptRecs, task *dag.Task, nodeID, core int, dev costmodel.DeviceKind,
-	stage metrics.Stage, start, end float64) {
+// (fault runs) or straight to the session's collector (fault-free hot
+// path). Explicit arguments instead of a per-task closure keep the record
+// path allocation-free.
+func (r *simRun) rec(s *session, buf *attemptRecs, task *dag.Task, nodeID, core int,
+	dev costmodel.DeviceKind, stage metrics.Stage, start, end float64) {
 	rec := metrics.Record{
 		TaskID: task.ID, TaskName: task.Name, Level: task.Level,
 		Node: nodeID, Core: core, Device: dev.String(),
@@ -436,7 +644,7 @@ func (r *simRun) rec(buf *attemptRecs, task *dag.Task, nodeID, core int, dev cos
 		buf.n++
 		return
 	}
-	r.collector.Add(rec)
+	s.collector.Add(rec)
 }
 
 // grantNext runs engine-side at the instant the master is granted to the
@@ -445,8 +653,18 @@ func (r *simRun) rec(buf *attemptRecs, task *dag.Task, nodeID, core int, dev cos
 // selects at this exact instant — and schedules the task process to start
 // once the policy's decision time has elapsed. The master stays held until
 // that process places the task and calls End.
+//
+// In multi-tenant mode the fair-share gate picks the tenant first, then
+// the policy picks within that tenant's refs; single-workflow runs take
+// the policy's pick directly, byte-identical to the pre-tenant runtime.
 func (r *simRun) grantNext() {
-	ref, ok := r.scheduler.Next(&r.queue)
+	var ref sched.TaskRef
+	var ok bool
+	if m := r.multi; m != nil {
+		ref, ok = r.scheduler.NextFor(&r.queue, m.pick(&r.queue))
+	} else {
+		ref, ok = r.scheduler.Next(&r.queue)
+	}
 	if !ok {
 		// Cannot happen: one request per queued ref.
 		panic("runtime: ready queue empty at dispatch")
@@ -464,6 +682,7 @@ func (r *simRun) taskProc(p *sim.Proc) {
 	// happened engine-side (grantNext); this process starts with the
 	// master held, places the task, and releases the master.
 	ref, _ := r.granted.PopFront()
+	s := r.sessions[ref.Session]
 	nodeID := r.scheduler.Place(ref, &r.view)
 	if nodeID < 0 && r.faults != nil && !r.faults.AnyUp() {
 		// Every node is down. Park the ref; the next repair re-files it
@@ -479,23 +698,23 @@ func (r *simRun) taskProc(p *sim.Proc) {
 	}
 	r.load[nodeID]++
 
-	task := r.wf.Graph.Task(ref.ID)
-	switch r.runAttempt(p, ref, task, nodeID) {
+	task := s.wf.Graph.Task(ref.ID)
+	switch r.runAttempt(p, s, ref, task, nodeID) {
 	case attemptDone:
 		if r.faults != nil {
 			// Transient-failure exhaustion counts consecutive failures: a
 			// success (including lineage re-execution) proves the task can
 			// make progress and resets its budget.
-			r.attempts[task.ID] = 0
+			s.attempts[task.ID] = 0
 		}
-		r.completeTask(task)
+		r.completeTask(s, task)
 	case attemptCrashed:
 		r.stats.CrashRequeues++
-		r.enqueue(task)
+		r.enqueue(s, task)
 	case attemptFailed:
 		r.stats.TransientFailures++
-		r.attempts[task.ID]++
-		n := int(r.attempts[task.ID])
+		s.attempts[task.ID]++
+		n := int(s.attempts[task.ID])
 		if n >= r.fcfg.MaxAttempts {
 			r.failErr = fmt.Errorf("runtime: task %d (%s) exhausted %d attempts under transient failures",
 				task.ID, task.Name, n)
@@ -503,7 +722,7 @@ func (r *simRun) taskProc(p *sim.Proc) {
 			return
 		}
 		r.stats.Retries++
-		r.eng.Schedule(r.fcfg.Backoff(n), func() { r.enqueue(task) })
+		r.eng.Schedule(r.fcfg.Backoff(n), func() { r.enqueue(s, task) })
 	case attemptLostInput:
 		// The attempt registered itself as a lineage waiter; the
 		// producer's (re-)completion re-enqueues it.
@@ -515,8 +734,8 @@ func (r *simRun) taskProc(p *sim.Proc) {
 // epoch at stage boundaries — the COMPSs master notices worker loss when a
 // dispatched task's result is due, not preemptively — and aborts the
 // attempt on a mismatch, releasing every held resource.
-func (r *simRun) runAttempt(p *sim.Proc, ref sched.TaskRef, task *dag.Task, nodeID int) attemptOutcome {
-	prof := r.wf.Spec(task).Profile
+func (r *simRun) runAttempt(p *sim.Proc, s *session, ref sched.TaskRef, task *dag.Task, nodeID int) attemptOutcome {
+	prof := s.wf.Spec(task).Profile
 	dev := taskDevice(prof, r.cfg.Device)
 	node := r.clu.Node(nodeID)
 	speed := 1.0 // CPU-side compute-rate multiplier for this node
@@ -535,7 +754,7 @@ func (r *simRun) runAttempt(p *sim.Proc, ref sched.TaskRef, task *dag.Task, node
 		failNow, failFrac = inj.AttemptFails()
 	}
 
-	r.rec(buf, task, nodeID, -1, dev, metrics.StageSched, ref.Enqueued, p.Now())
+	r.rec(s, buf, task, nodeID, -1, dev, metrics.StageSched, ref.Enqueued, p.Now())
 
 	// --- Occupy a worker core for the whole task (COMPSs binds the task
 	// to a core; GPU tasks keep their host core while the kernel runs).
@@ -553,7 +772,7 @@ func (r *simRun) runAttempt(p *sim.Proc, ref sched.TaskRef, task *dag.Task, node
 	}
 	bodyStart := p.Now()
 	if inj != nil && inj.Epoch(nodeID) != epoch {
-		r.abortAttempt(p, task, nodeID, slot, dev, bodyStart)
+		r.abortAttempt(p, s, task, nodeID, slot, dev, bodyStart)
 		return attemptCrashed
 	}
 
@@ -565,12 +784,12 @@ func (r *simRun) runAttempt(p *sim.Proc, ref sched.TaskRef, task *dag.Task, node
 			if inj == nil {
 				r.panicUnknownRead(task, in.ID)
 			}
-			if prod := r.producerOf(task, in.ID); prod >= 0 {
+			if prod := r.producerOf(s, task, in.ID); prod >= 0 {
 				// The block was produced by an upstream task and died
 				// with a local disk: lineage recovery re-executes the
 				// producer; this attempt aborts and waits for it.
-				r.addWaiter(prod, task.ID)
-				r.abortAttempt(p, task, nodeID, slot, dev, bodyStart)
+				r.addWaiter(s, prod, task.ID)
+				r.abortAttempt(p, s, task, nodeID, slot, dev, bodyStart)
 				return attemptLostInput
 			}
 			// A workflow input is durable at its archival source:
@@ -585,9 +804,9 @@ func (r *simRun) runAttempt(p *sim.Proc, ref sched.TaskRef, task *dag.Task, node
 	if readBytes > 0 {
 		p.Wait(readBytes / r.params.DeserRate / speed)
 	}
-	r.rec(buf, task, nodeID, core, dev, metrics.StageDeser, dStart, p.Now())
+	r.rec(s, buf, task, nodeID, core, dev, metrics.StageDeser, dStart, p.Now())
 	if inj != nil && inj.Epoch(nodeID) != epoch {
-		r.abortAttempt(p, task, nodeID, slot, dev, bodyStart)
+		r.abortAttempt(p, s, task, nodeID, slot, dev, bodyStart)
 		return attemptCrashed
 	}
 
@@ -599,24 +818,24 @@ func (r *simRun) runAttempt(p *sim.Proc, ref sched.TaskRef, task *dag.Task, node
 		if prof.BytesIn > 0 {
 			node.PCIe.Transfer(p, prof.BytesIn)
 		}
-		r.rec(buf, task, nodeID, core, dev, metrics.StageCommIn, gStart, p.Now())
+		r.rec(s, buf, task, nodeID, core, dev, metrics.StageCommIn, gStart, p.Now())
 
 		kStart := p.Now()
 		kt := r.params.ParallelTime(prof, costmodel.GPU)
 		if failNow {
 			// The injected failure strikes partway through the kernel.
 			p.Wait(kt * failFrac)
-			r.abortAttempt(p, task, nodeID, slot, dev, bodyStart)
+			r.abortAttempt(p, s, task, nodeID, slot, dev, bodyStart)
 			return attemptFailed
 		}
 		p.Wait(kt)
-		r.rec(buf, task, nodeID, core, dev, metrics.StageParallel, kStart, p.Now())
+		r.rec(s, buf, task, nodeID, core, dev, metrics.StageParallel, kStart, p.Now())
 
 		oStart := p.Now()
 		if prof.BytesOut > 0 {
 			node.PCIe.Transfer(p, prof.BytesOut)
 		}
-		r.rec(buf, task, nodeID, core, dev, metrics.StageCommOut, oStart, p.Now())
+		r.rec(s, buf, task, nodeID, core, dev, metrics.StageCommOut, oStart, p.Now())
 	case costmodel.CPU:
 		kStart := p.Now()
 		var kt float64
@@ -627,20 +846,20 @@ func (r *simRun) runAttempt(p *sim.Proc, ref sched.TaskRef, task *dag.Task, node
 			// the node's idle cores (NumPy/BLAS threading), which is why
 			// the paper's parallel-task time *drops* at the maximum
 			// block size (§5.3) instead of growing further.
-			if r.levelWidth[task.Level] == 1 {
+			if s.levelWidth[task.Level] == 1 {
 				kt /= r.params.SoloThreadSpeedup
 			}
 			kt /= speed
 		}
 		if failNow {
 			p.Wait(kt * failFrac)
-			r.abortAttempt(p, task, nodeID, slot, dev, bodyStart)
+			r.abortAttempt(p, s, task, nodeID, slot, dev, bodyStart)
 			return attemptFailed
 		}
 		if kt > 0 {
 			p.Wait(kt)
 		}
-		r.rec(buf, task, nodeID, core, dev, metrics.StageParallel, kStart, p.Now())
+		r.rec(s, buf, task, nodeID, core, dev, metrics.StageParallel, kStart, p.Now())
 	}
 
 	// Serial fraction always runs on the host core (§3.3).
@@ -648,9 +867,9 @@ func (r *simRun) runAttempt(p *sim.Proc, ref sched.TaskRef, task *dag.Task, node
 	if prof.SerialOps > 0 {
 		p.Wait(r.params.SerialTime(prof) / speed)
 	}
-	r.rec(buf, task, nodeID, core, dev, metrics.StageSerial, sStart, p.Now())
+	r.rec(s, buf, task, nodeID, core, dev, metrics.StageSerial, sStart, p.Now())
 	if inj != nil && inj.Epoch(nodeID) != epoch {
-		r.abortAttempt(p, task, nodeID, slot, dev, bodyStart)
+		r.abortAttempt(p, s, task, nodeID, slot, dev, bodyStart)
 		return attemptCrashed
 	}
 
@@ -660,7 +879,7 @@ func (r *simRun) runAttempt(p *sim.Proc, ref sched.TaskRef, task *dag.Task, node
 	var wroteBytes float64
 	for i, prm := range task.Params {
 		if prm.Writes() {
-			wroteBytes += r.wf.SizeByID(ids[i])
+			wroteBytes += s.wf.SizeByID(ids[i])
 		}
 	}
 	if wroteBytes > 0 {
@@ -669,20 +888,20 @@ func (r *simRun) runAttempt(p *sim.Proc, ref sched.TaskRef, task *dag.Task, node
 	for i, prm := range task.Params {
 		if prm.Writes() {
 			id := ids[i]
-			r.store.Write(p, node, id, r.wf.SizeByID(id))
+			r.store.Write(p, node, s.gid(id), s.wf.SizeByID(id))
 		}
 	}
-	r.rec(buf, task, nodeID, core, dev, metrics.StageSer, wStart, p.Now())
+	r.rec(s, buf, task, nodeID, core, dev, metrics.StageSer, wStart, p.Now())
 	if inj != nil && inj.Epoch(nodeID) != epoch {
 		// The node died while the attempt was writing; local copies of
 		// its outputs died with it (shared storage keeps them — Drop is
 		// a no-op there).
 		for i, prm := range task.Params {
 			if prm.Writes() {
-				r.store.Drop(ids[i])
+				r.store.Drop(s.gid(ids[i]))
 			}
 		}
-		r.abortAttempt(p, task, nodeID, slot, dev, bodyStart)
+		r.abortAttempt(p, s, task, nodeID, slot, dev, bodyStart)
 		return attemptCrashed
 	}
 
@@ -694,9 +913,9 @@ func (r *simRun) runAttempt(p *sim.Proc, ref sched.TaskRef, task *dag.Task, node
 	r.load[nodeID]--
 	if buf != nil {
 		for i := 0; i < buf.n; i++ {
-			r.collector.Add(buf.recs[i])
+			s.collector.Add(buf.recs[i])
 		}
-		if r.doneTask[task.ID] {
+		if s.doneTask[task.ID] {
 			// A lineage re-execution of an already-completed producer.
 			r.stats.RecoveryWork += p.Now() - bodyStart
 		}
@@ -707,7 +926,7 @@ func (r *simRun) runAttempt(p *sim.Proc, ref sched.TaskRef, task *dag.Task, node
 // abortAttempt releases everything a doomed attempt holds and records its
 // wasted span as a single StageRecovery record — the core time the fault
 // burned, visible in traces and Gantt timelines as 'x'.
-func (r *simRun) abortAttempt(p *sim.Proc, task *dag.Task, nodeID, slot int,
+func (r *simRun) abortAttempt(p *sim.Proc, s *session, task *dag.Task, nodeID, slot int,
 	dev costmodel.DeviceKind, bodyStart float64) {
 	node := r.clu.Node(nodeID)
 	if dev == costmodel.GPU {
@@ -717,7 +936,7 @@ func (r *simRun) abortAttempt(p *sim.Proc, task *dag.Task, nodeID, slot int,
 	node.Cores.Release()
 	r.load[nodeID]--
 	r.stats.WastedWork += p.Now() - bodyStart
-	r.collector.Add(metrics.Record{
+	s.collector.Add(metrics.Record{
 		TaskID: task.ID, TaskName: task.Name, Level: task.Level,
 		Node: nodeID, Core: nodeID*r.cfg.Cluster.CoresPerNode + slot, Device: dev.String(),
 		Stage: metrics.StageRecovery, Start: bodyStart, End: p.Now(),
@@ -732,16 +951,17 @@ func (r *simRun) panicUnknownRead(task *dag.Task, id int32) {
 		task.ID, task.Name, id))
 }
 
-// producerOf returns the dependency of task that writes datum id, or -1
-// when no dependency produces it (the datum is a workflow input). The
-// scan is the lineage walk: dependencies hold every producer the DAG's
-// last-writer edge inference linked to this task.
-func (r *simRun) producerOf(task *dag.Task, id int32) int {
+// producerOf returns the dependency of task that writes datum id (given
+// as a global ID), or -1 when no dependency produces it (the datum is a
+// workflow input). The scan is the lineage walk: dependencies hold every
+// producer the DAG's last-writer edge inference linked to this task.
+func (r *simRun) producerOf(s *session, task *dag.Task, id int32) int {
+	local := id - s.dataBase
 	for _, dep := range task.Deps() {
-		dt := r.wf.Graph.Task(dep)
+		dt := s.wf.Graph.Task(dep)
 		ids := dt.DataIDs()
 		for i, prm := range dt.Params {
-			if prm.Writes() && ids[i] == id {
+			if prm.Writes() && ids[i] == local {
 				return dep
 			}
 		}
@@ -751,48 +971,52 @@ func (r *simRun) producerOf(task *dag.Task, id int32) int {
 
 // addWaiter parks a task on a producer's re-execution and submits the
 // producer if it is not already queued or running.
-func (r *simRun) addWaiter(prod, waiter int) {
-	r.waiters[prod] = append(r.waiters[prod], int32(waiter))
-	if !r.inFlight[prod] {
+func (r *simRun) addWaiter(s *session, prod, waiter int) {
+	s.waiters[prod] = append(s.waiters[prod], int32(waiter))
+	if !s.inFlight[prod] {
 		r.stats.LineageRecomputes++
-		r.enqueue(r.wf.Graph.Task(prod))
+		r.enqueue(s, s.wf.Graph.Task(prod))
 	}
 }
 
 // completeTask runs the completion bookkeeping for a successful attempt:
 // successor release on first completion, lineage-waiter wake-up on every
-// completion, and injector shutdown when the workflow is done (pending
-// fault events would otherwise keep the virtual clock alive forever).
-func (r *simRun) completeTask(task *dag.Task) {
+// completion, quota return and session teardown when the workflow's last
+// task finishes.
+func (r *simRun) completeTask(s *session, task *dag.Task) {
+	r.releaseQuota(s, task.ID)
 	if r.faults == nil {
-		r.done++
-		for _, s := range task.Succs() {
-			r.remaining[s]--
-			if r.remaining[s] == 0 {
-				r.enqueue(r.wf.Graph.Task(s))
+		s.done++
+		for _, succ := range task.Succs() {
+			s.remaining[succ]--
+			if s.remaining[succ] == 0 {
+				r.enqueue(s, s.wf.Graph.Task(succ))
 			}
+		}
+		if s.done == s.wf.Graph.Len() {
+			r.finishSession(s)
 		}
 		return
 	}
-	r.inFlight[task.ID] = false
-	if !r.doneTask[task.ID] {
-		r.doneTask[task.ID] = true
-		r.done++
-		for _, s := range task.Succs() {
-			r.remaining[s]--
-			if r.remaining[s] == 0 {
-				r.enqueue(r.wf.Graph.Task(s))
+	s.inFlight[task.ID] = false
+	if !s.doneTask[task.ID] {
+		s.doneTask[task.ID] = true
+		s.done++
+		for _, succ := range task.Succs() {
+			s.remaining[succ]--
+			if s.remaining[succ] == 0 {
+				r.enqueue(s, s.wf.Graph.Task(succ))
 			}
 		}
 	}
-	if ws := r.waiters[task.ID]; len(ws) > 0 {
-		r.waiters[task.ID] = ws[:0]
+	if ws := s.waiters[task.ID]; len(ws) > 0 {
+		s.waiters[task.ID] = ws[:0]
 		for _, w := range ws {
-			r.enqueue(r.wf.Graph.Task(int(w)))
+			r.enqueue(s, s.wf.Graph.Task(int(w)))
 		}
 	}
-	if r.done == r.wf.Graph.Len() {
-		r.faults.Stop()
+	if s.done == s.wf.Graph.Len() {
+		r.finishSession(s)
 	}
 }
 

@@ -39,6 +39,14 @@ type TaskRef struct {
 	// It rides with the ref so queue disciplines that reorder dispatch
 	// (LIFO) still attribute the correct wait to each task.
 	Enqueued float64
+	// Tenant tags the workload stream the task belongs to; the queue
+	// keeps per-tenant length accounting so a fair-share dispatch gate
+	// can pick a tenant without popping. Single-workflow runs leave it 0.
+	Tenant int32
+	// Session identifies the submitted workflow instance within the
+	// runtime's multiplexed engine (one tenant may stream many
+	// workflows). Opaque to the scheduler; 0 in single-workflow runs.
+	Session int32
 }
 
 // View is the scheduler-visible cluster state.
@@ -79,6 +87,10 @@ type Queue struct {
 	items []TaskRef
 	head  int
 	count int
+	// perTenant[t] counts queued refs tagged with tenant t, so a
+	// fair-share gate can inspect tenant backlogs without popping. The
+	// slice grows to cover the highest tenant tag ever pushed.
+	perTenant []int
 }
 
 // Push appends a newly ready task. Tasks become ready in generation order
@@ -94,10 +106,30 @@ func (q *Queue) Push(t TaskRef) {
 	}
 	q.items[(q.head+q.count)%len(q.items)] = t
 	q.count++
+	for int(t.Tenant) >= len(q.perTenant) {
+		q.perTenant = append(q.perTenant, 0)
+	}
+	q.perTenant[t.Tenant]++
 }
 
 // Len returns the number of queued tasks.
 func (q *Queue) Len() int { return q.count }
+
+// TenantLen returns the number of queued tasks tagged with tenant t.
+func (q *Queue) TenantLen(t int32) int {
+	if int(t) >= len(q.perTenant) {
+		return 0
+	}
+	return q.perTenant[t]
+}
+
+// Peek returns the oldest ready task without removing it.
+func (q *Queue) Peek() (TaskRef, bool) {
+	if q.count == 0 {
+		return TaskRef{}, false
+	}
+	return q.items[q.head], true
+}
 
 // PopFront removes and returns the oldest ready task.
 func (q *Queue) PopFront() (TaskRef, bool) {
@@ -108,6 +140,7 @@ func (q *Queue) PopFront() (TaskRef, bool) {
 	q.items[q.head] = TaskRef{} // release the Inputs backing for reuse
 	q.head = (q.head + 1) % len(q.items)
 	q.count--
+	q.perTenant[t.Tenant]--
 	return t, true
 }
 
@@ -120,7 +153,64 @@ func (q *Queue) PopBack() (TaskRef, bool) {
 	t := q.items[i]
 	q.items[i] = TaskRef{}
 	q.count--
+	q.perTenant[t.Tenant]--
 	return t, true
+}
+
+// at returns the physical index of the i-th queued ref (0 = oldest).
+func (q *Queue) at(i int) int { return (q.head + i) % len(q.items) }
+
+// removeAt deletes the i-th queued ref (0 = oldest), preserving the
+// relative order of every other ref by shifting the shorter side of the
+// ring toward the gap. No allocation.
+func (q *Queue) removeAt(i int) TaskRef {
+	t := q.items[q.at(i)]
+	if i < q.count-i-1 {
+		// Shift the front segment back by one.
+		for j := i; j > 0; j-- {
+			q.items[q.at(j)] = q.items[q.at(j-1)]
+		}
+		q.items[q.head] = TaskRef{}
+		q.head = (q.head + 1) % len(q.items)
+	} else {
+		// Shift the tail segment forward by one.
+		for j := i; j < q.count-1; j++ {
+			q.items[q.at(j)] = q.items[q.at(j+1)]
+		}
+		q.items[q.at(q.count-1)] = TaskRef{}
+	}
+	q.count--
+	q.perTenant[t.Tenant]--
+	return t
+}
+
+// PopFrontTenant removes and returns the oldest ready task tagged with
+// tenant t. The scan from the head is linear in queue depth; the
+// fair-share gate calls it once per dispatch.
+func (q *Queue) PopFrontTenant(t int32) (TaskRef, bool) {
+	if q.TenantLen(t) == 0 {
+		return TaskRef{}, false
+	}
+	for i := 0; i < q.count; i++ {
+		if q.items[q.at(i)].Tenant == t {
+			return q.removeAt(i), true
+		}
+	}
+	return TaskRef{}, false
+}
+
+// PopBackTenant removes and returns the newest ready task tagged with
+// tenant t.
+func (q *Queue) PopBackTenant(t int32) (TaskRef, bool) {
+	if q.TenantLen(t) == 0 {
+		return TaskRef{}, false
+	}
+	for i := q.count - 1; i >= 0; i-- {
+		if q.items[q.at(i)].Tenant == t {
+			return q.removeAt(i), true
+		}
+	}
+	return TaskRef{}, false
 }
 
 // Policy identifies a scheduling policy.
@@ -164,6 +254,11 @@ type Scheduler interface {
 	Overhead(p costmodel.Params) float64
 	// Next removes and returns the next task to dispatch.
 	Next(q *Queue) (TaskRef, bool)
+	// NextFor removes and returns the next task to dispatch among those
+	// tagged with the given tenant, applying the same queue discipline as
+	// Next restricted to that tenant's refs. A fair-share dispatch gate
+	// picks the tenant; the policy still picks the task.
+	NextFor(q *Queue, tenant int32) (TaskRef, bool)
 	// Place picks the target node for the task.
 	Place(t TaskRef, v *View) int
 }
@@ -191,12 +286,16 @@ func (fifoSched) Overhead(p costmodel.Params) float64 { return p.SchedFIFO }
 func (fifoSched) Next(q *Queue) (TaskRef, bool)       { return q.PopFront() }
 func (fifoSched) Place(t TaskRef, v *View) int        { return v.leastLoaded() }
 
+func (fifoSched) NextFor(q *Queue, t int32) (TaskRef, bool) { return q.PopFrontTenant(t) }
+
 type lifoSched struct{}
 
 func (lifoSched) Policy() Policy                      { return LIFO }
 func (lifoSched) Overhead(p costmodel.Params) float64 { return p.SchedFIFO }
 func (lifoSched) Next(q *Queue) (TaskRef, bool)       { return q.PopBack() }
 func (lifoSched) Place(t TaskRef, v *View) int        { return v.leastLoaded() }
+
+func (lifoSched) NextFor(q *Queue, t int32) (TaskRef, bool) { return q.PopBackTenant(t) }
 
 // localitySched carries reusable per-node scratch so a placement decision
 // performs zero allocations: byNode tallies resident input bytes per node,
@@ -211,6 +310,8 @@ type localitySched struct {
 func (*localitySched) Policy() Policy                      { return Locality }
 func (*localitySched) Overhead(p costmodel.Params) float64 { return p.SchedLocality }
 func (*localitySched) Next(q *Queue) (TaskRef, bool)       { return q.PopFront() }
+
+func (*localitySched) NextFor(q *Queue, t int32) (TaskRef, bool) { return q.PopFrontTenant(t) }
 
 // Place tallies input bytes per holding node and chooses the node with the
 // best locality score; without any located input (e.g. shared storage,
@@ -263,6 +364,8 @@ type randomSched struct {
 func (*randomSched) Policy() Policy                      { return Random }
 func (*randomSched) Overhead(p costmodel.Params) float64 { return p.SchedFIFO }
 func (*randomSched) Next(q *Queue) (TaskRef, bool)       { return q.PopFront() }
+
+func (*randomSched) NextFor(q *Queue, t int32) (TaskRef, bool) { return q.PopFrontTenant(t) }
 
 // Place draws a uniform node; with down nodes it keeps the single draw
 // (so the fault-free stream is untouched) and scans forward to the next

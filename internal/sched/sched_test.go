@@ -229,6 +229,155 @@ func TestPlacementSkipsDownNodes(t *testing.T) {
 	}
 }
 
+// TestQueueWraparound drives the ring buffer through repeated grow /
+// wrap cycles under mixed Push, PopFront and PopBack, checking the queue
+// against a reference slice after every operation.
+func TestQueueWraparound(t *testing.T) {
+	q := &Queue{}
+	var ref []TaskRef // reference model: plain slice, front at index 0
+	next := 0
+	push := func(n int) {
+		for i := 0; i < n; i++ {
+			tr := TaskRef{ID: next, Tenant: int32(next % 3)}
+			next++
+			q.Push(tr)
+			ref = append(ref, tr)
+		}
+	}
+	popFront := func(n int) {
+		for i := 0; i < n; i++ {
+			got, ok := q.PopFront()
+			if !ok {
+				t.Fatalf("PopFront failed with %d refs modeled", len(ref))
+			}
+			if got.ID != ref[0].ID {
+				t.Fatalf("PopFront = %d, want %d", got.ID, ref[0].ID)
+			}
+			ref = ref[1:]
+		}
+	}
+	popBack := func(n int) {
+		for i := 0; i < n; i++ {
+			got, ok := q.PopBack()
+			if !ok {
+				t.Fatalf("PopBack failed with %d refs modeled", len(ref))
+			}
+			if got.ID != ref[len(ref)-1].ID {
+				t.Fatalf("PopBack = %d, want %d", got.ID, ref[len(ref)-1].ID)
+			}
+			ref = ref[:len(ref)-1]
+		}
+	}
+	check := func() {
+		t.Helper()
+		if q.Len() != len(ref) {
+			t.Fatalf("Len = %d, want %d", q.Len(), len(ref))
+		}
+		if len(ref) > 0 {
+			if got, ok := q.Peek(); !ok || got.ID != ref[0].ID {
+				t.Fatalf("Peek = (%d,%v), want %d", got.ID, ok, ref[0].ID)
+			}
+		} else if _, ok := q.Peek(); ok {
+			t.Fatal("Peek on empty queue succeeded")
+		}
+		want := map[int32]int{}
+		for _, r := range ref {
+			want[r.Tenant]++
+		}
+		for ten := int32(0); ten < 3; ten++ {
+			if got := q.TenantLen(ten); got != want[ten] {
+				t.Fatalf("TenantLen(%d) = %d, want %d", ten, got, want[ten])
+			}
+		}
+	}
+	// Cross the grow boundary, drain low, refill past the old head so the
+	// live window wraps around the end of the backing array, repeatedly.
+	script := []struct {
+		op string
+		n  int
+	}{
+		{"push", 5}, {"popF", 3}, {"push", 6}, {"popB", 2}, {"popF", 4},
+		{"push", 12}, {"popF", 7}, {"popB", 3}, {"push", 9}, {"popF", 5},
+		{"popB", 6}, {"push", 2}, {"popF", 4}, {"push", 30}, {"popB", 15},
+		{"popF", 15},
+	}
+	for _, s := range script {
+		switch s.op {
+		case "push":
+			push(s.n)
+		case "popF":
+			popFront(s.n)
+		case "popB":
+			popBack(s.n)
+		}
+		check()
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.Len())
+	}
+}
+
+// TestQueueTenantPops pins the per-tenant disciplines: PopFrontTenant and
+// PopBackTenant select within one tenant's refs while preserving the
+// relative order of everything else.
+func TestQueueTenantPops(t *testing.T) {
+	q := &Queue{}
+	// Interleave tenants 0/1: IDs 0..7, tenant = ID % 2.
+	for i := 0; i < 8; i++ {
+		q.Push(TaskRef{ID: i, Tenant: int32(i % 2)})
+	}
+	if got, ok := q.PopFrontTenant(1); !ok || got.ID != 1 {
+		t.Fatalf("PopFrontTenant(1) = (%d,%v), want 1", got.ID, ok)
+	}
+	if got, ok := q.PopBackTenant(1); !ok || got.ID != 7 {
+		t.Fatalf("PopBackTenant(1) = (%d,%v), want 7", got.ID, ok)
+	}
+	if q.TenantLen(0) != 4 || q.TenantLen(1) != 2 {
+		t.Fatalf("tenant lens = %d,%d, want 4,2", q.TenantLen(0), q.TenantLen(1))
+	}
+	// Remaining refs keep their relative order: 0,2,3,4,5,6.
+	want := []int{0, 2, 3, 4, 5, 6}
+	for _, w := range want {
+		got, ok := q.PopFront()
+		if !ok || got.ID != w {
+			t.Fatalf("PopFront = (%d,%v), want %d", got.ID, ok, w)
+		}
+	}
+	// Absent tenant: clean miss, including tenants never pushed.
+	if _, ok := q.PopFrontTenant(0); ok {
+		t.Fatal("PopFrontTenant on empty queue succeeded")
+	}
+	if _, ok := q.PopBackTenant(42); ok {
+		t.Fatal("PopBackTenant for unknown tenant succeeded")
+	}
+	if q.TenantLen(42) != 0 {
+		t.Fatal("TenantLen for unknown tenant nonzero")
+	}
+}
+
+// TestSchedulerNextFor pins the per-tenant discipline each policy applies:
+// FIFO/Locality/Random take the tenant's oldest ref, LIFO its newest.
+func TestSchedulerNextFor(t *testing.T) {
+	fill := func() *Queue {
+		q := &Queue{}
+		for i := 0; i < 6; i++ {
+			q.Push(TaskRef{ID: i, Tenant: int32(i % 2)})
+		}
+		return q
+	}
+	for _, pol := range []Policy{FIFO, Locality, Random} {
+		s, _ := New(pol, 1)
+		got, ok := s.NextFor(fill(), 1)
+		if !ok || got.ID != 1 {
+			t.Errorf("%v NextFor(1) = (%d,%v), want oldest 1", pol, got.ID, ok)
+		}
+	}
+	lifo, _ := New(LIFO, 0)
+	if got, ok := lifo.NextFor(fill(), 1); !ok || got.ID != 5 {
+		t.Errorf("LIFO NextFor(1) = (%d,%v), want newest 5", got.ID, ok)
+	}
+}
+
 // TestTaskRefCarriesEnqueueInstant pins that queue disciplines preserve
 // each ref's own enqueue timestamp through reordering (the LIFO
 // attribution fix; the end-to-end check lives in the runtime tests).

@@ -1,0 +1,226 @@
+// Streaming statistics for service-level metrics: long multi-tenant
+// simulations observe one sample per task (queue wait) and one per
+// workflow (response time, slowdown), and must report percentiles without
+// retaining every sample — O(1) state per tracked quantile instead of
+// O(total-tasks) memory growth.
+//
+// Quantiles are estimated with the P² algorithm (Jain & Chlamtac, CACM
+// 1985): five markers per quantile, adjusted with piecewise-parabolic
+// interpolation as samples stream in. The estimator is a pure function of
+// the observation sequence, so deterministic runs report bit-identical
+// percentiles.
+
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs exactly, by linear
+// interpolation between the sorted order statistics (the common "type 7"
+// estimator). It copies xs, so the caller's slice is untouched. NaN is
+// returned for an empty slice or an out-of-range q.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// P2 is a streaming estimator of one quantile (the P² algorithm). The
+// zero value is not usable; construct with NewP2. Observing fewer than
+// five samples falls back to the exact small-sample quantile.
+type P2 struct {
+	q float64
+	n int // samples observed
+
+	// Marker state, meaningful once n >= 5. pos are the actual marker
+	// positions (1-based sample counts), want the desired positions,
+	// dWant their per-sample increments, h the marker heights (estimates
+	// of the 0, q/2, q, (1+q)/2 and 1 quantiles).
+	pos   [5]int
+	want  [5]float64
+	dWant [5]float64
+	h     [5]float64
+}
+
+// NewP2 returns an estimator for the q-th quantile (0 < q < 1).
+func NewP2(q float64) *P2 {
+	p := &P2{q: q}
+	p.dWant = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return p
+}
+
+// Quantile returns the quantile the estimator tracks.
+func (p *P2) Quantile() float64 { return p.q }
+
+// N returns the number of samples observed.
+func (p *P2) N() int { return p.n }
+
+// Observe feeds one sample.
+func (p *P2) Observe(x float64) {
+	if p.n < 5 {
+		// Bootstrap: keep the first five samples sorted in h.
+		i := p.n
+		for i > 0 && p.h[i-1] > x {
+			p.h[i] = p.h[i-1]
+			i--
+		}
+		p.h[i] = x
+		p.n++
+		if p.n == 5 {
+			for j := 0; j < 5; j++ {
+				p.pos[j] = j + 1
+				p.want[j] = 1 + 4*p.dWant[j]
+			}
+		}
+		return
+	}
+	p.n++
+
+	// Find the cell the sample falls into and bump the end markers.
+	var k int
+	switch {
+	case x < p.h[0]:
+		p.h[0] = x
+		k = 0
+	case x >= p.h[4]:
+		p.h[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < p.h[k+1] {
+				break
+			}
+		}
+	}
+	for j := k + 1; j < 5; j++ {
+		p.pos[j]++
+	}
+	for j := 0; j < 5; j++ {
+		p.want[j] += p.dWant[j]
+	}
+
+	// Adjust the three interior markers toward their desired positions.
+	for j := 1; j <= 3; j++ {
+		d := p.want[j] - float64(p.pos[j])
+		if (d >= 1 && p.pos[j+1]-p.pos[j] > 1) || (d <= -1 && p.pos[j-1]-p.pos[j] < -1) {
+			sign := 1
+			if d < 0 {
+				sign = -1
+			}
+			if h := p.parabolic(j, sign); p.h[j-1] < h && h < p.h[j+1] {
+				p.h[j] = h
+			} else {
+				p.h[j] = p.linear(j, sign)
+			}
+			p.pos[j] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic (PP) height prediction for
+// moving marker j by sign (±1).
+func (p *P2) parabolic(j, sign int) float64 {
+	d := float64(sign)
+	np, n, nn := float64(p.pos[j-1]), float64(p.pos[j]), float64(p.pos[j+1])
+	return p.h[j] + d/(nn-np)*((n-np+d)*(p.h[j+1]-p.h[j])/(nn-n)+(nn-n-d)*(p.h[j]-p.h[j-1])/(n-np))
+}
+
+// linear is the fallback height prediction when the parabolic one would
+// leave the markers unordered.
+func (p *P2) linear(j, sign int) float64 {
+	d := float64(sign)
+	return p.h[j] + d*(p.h[j+sign]-p.h[j])/(float64(p.pos[j+sign])-float64(p.pos[j]))
+}
+
+// Value returns the current quantile estimate; NaN before any sample.
+func (p *P2) Value() float64 {
+	if p.n == 0 {
+		return math.NaN()
+	}
+	if p.n < 5 {
+		// Exact small-sample quantile over the sorted bootstrap buffer.
+		return Quantile(p.h[:p.n], p.q)
+	}
+	return p.h[2]
+}
+
+// Stream accumulates one metric's streaming summary: count, mean, min,
+// max and the p50/p95/p99 service percentiles, in O(1) memory. The zero
+// value is not usable; construct with NewStream.
+type Stream struct {
+	n        int
+	sum      float64
+	min, max float64
+	p50      *P2
+	p95      *P2
+	p99      *P2
+}
+
+// NewStream returns an empty stream summary.
+func NewStream() *Stream {
+	return &Stream{p50: NewP2(0.50), p95: NewP2(0.95), p99: NewP2(0.99)}
+}
+
+// Observe feeds one sample.
+func (s *Stream) Observe(x float64) {
+	if s.n == 0 || x < s.min {
+		s.min = x
+	}
+	if s.n == 0 || x > s.max {
+		s.max = x
+	}
+	s.n++
+	s.sum += x
+	s.p50.Observe(x)
+	s.p95.Observe(x)
+	s.p99.Observe(x)
+}
+
+// N returns the number of samples observed.
+func (s *Stream) N() int { return s.n }
+
+// Mean returns the sample mean (NaN before any sample).
+func (s *Stream) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the smallest observed sample (NaN before any sample).
+func (s *Stream) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest observed sample (NaN before any sample).
+func (s *Stream) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// P50 returns the streaming median estimate.
+func (s *Stream) P50() float64 { return s.p50.Value() }
+
+// P95 returns the streaming 95th-percentile estimate.
+func (s *Stream) P95() float64 { return s.p95.Value() }
+
+// P99 returns the streaming 99th-percentile estimate.
+func (s *Stream) P99() float64 { return s.p99.Value() }

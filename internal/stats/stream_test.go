@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestQuantileExact(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+		{0.125, 1.5}, // interpolated between order statistics
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := xs[0]; got != 4 {
+		t.Errorf("Quantile mutated its input: xs[0] = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(empty) should be NaN")
+	}
+	if !math.IsNaN(Quantile(xs, 1.5)) {
+		t.Error("Quantile(q>1) should be NaN")
+	}
+}
+
+// TestP2SmallSampleExact: below five samples the estimator must agree
+// exactly with the exact quantile of the observed set.
+func TestP2SmallSampleExact(t *testing.T) {
+	xs := []float64{10, 2, 7}
+	p := NewP2(0.5)
+	for _, x := range xs {
+		p.Observe(x)
+	}
+	if got, want := p.Value(), Quantile(xs, 0.5); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("small-sample median = %v, want exact %v", got, want)
+	}
+	if !math.IsNaN(NewP2(0.5).Value()) {
+		t.Fatal("empty estimator should report NaN")
+	}
+}
+
+// TestP2KnownDistributions compares the streaming estimate against the
+// exact sample quantile on seeded uniform and exponential draws. P² is an
+// approximation; on 10k samples of these smooth distributions it should
+// land within a few percent of the exact sample quantile.
+func TestP2KnownDistributions(t *testing.T) {
+	const n = 10000
+	draws := []struct {
+		name string
+		gen  func(*rand.Rand) float64
+	}{
+		{"uniform", func(r *rand.Rand) float64 { return r.Float64() }},
+		{"exponential", func(r *rand.Rand) float64 { return r.ExpFloat64() }},
+	}
+	quantiles := []float64{0.5, 0.95, 0.99}
+	for _, d := range draws {
+		rng := rand.New(rand.NewPCG(7, 13))
+		xs := make([]float64, n)
+		ests := make([]*P2, len(quantiles))
+		for i, q := range quantiles {
+			ests[i] = NewP2(q)
+		}
+		for i := 0; i < n; i++ {
+			x := d.gen(rng)
+			xs[i] = x
+			for _, e := range ests {
+				e.Observe(x)
+			}
+		}
+		for i, q := range quantiles {
+			exact := Quantile(xs, q)
+			got := ests[i].Value()
+			// Relative tolerance on the quantile value; exact is bounded
+			// away from 0 for these distributions and quantiles.
+			if math.Abs(got-exact)/exact > 0.05 {
+				t.Errorf("%s p%g: streaming %v vs exact %v (>5%% off)",
+					d.name, q*100, got, exact)
+			}
+			if ests[i].N() != n {
+				t.Errorf("%s p%g: N = %d, want %d", d.name, q*100, ests[i].N(), n)
+			}
+		}
+	}
+}
+
+// TestStreamDeterministic: two identical observation sequences must yield
+// bit-identical summaries — the estimator state is a pure function of the
+// sequence.
+func TestStreamDeterministic(t *testing.T) {
+	run := func() *Stream {
+		rng := rand.New(rand.NewPCG(42, 1))
+		s := NewStream()
+		for i := 0; i < 5000; i++ {
+			s.Observe(rng.ExpFloat64() * 3)
+		}
+		return s
+	}
+	a, b := run(), run()
+	if a.P50() != b.P50() || a.P95() != b.P95() || a.P99() != b.P99() ||
+		a.Mean() != b.Mean() || a.Max() != b.Max() || a.Min() != b.Min() || a.N() != b.N() {
+		t.Fatalf("streams diverged: %+v vs %+v",
+			[]float64{a.P50(), a.P95(), a.P99(), a.Mean()},
+			[]float64{b.P50(), b.P95(), b.P99(), b.Mean()})
+	}
+}
+
+func TestStreamMoments(t *testing.T) {
+	s := NewStream()
+	for _, x := range []float64{2, 4, 6} {
+		s.Observe(x)
+	}
+	if s.N() != 3 || s.Mean() != 4 || s.Min() != 2 || s.Max() != 6 {
+		t.Fatalf("n=%d mean=%v min=%v max=%v", s.N(), s.Mean(), s.Min(), s.Max())
+	}
+	empty := NewStream()
+	if !math.IsNaN(empty.Mean()) || !math.IsNaN(empty.Max()) || !math.IsNaN(empty.Min()) {
+		t.Fatal("empty stream moments should be NaN")
+	}
+}
+
+// TestP2MonotoneMarkers: the five marker heights must stay ordered under a
+// long adversarial (sorted then reversed) stream — the invariant the
+// linear fallback protects.
+func TestP2MonotoneMarkers(t *testing.T) {
+	p := NewP2(0.95)
+	for i := 0; i < 1000; i++ {
+		p.Observe(float64(i))
+	}
+	for i := 1000; i > 0; i-- {
+		p.Observe(float64(i))
+	}
+	for j := 0; j < 4; j++ {
+		if p.h[j] > p.h[j+1] {
+			t.Fatalf("markers unordered: h[%d]=%v > h[%d]=%v", j, p.h[j], j+1, p.h[j+1])
+		}
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"wfsim/internal/runner"
 	"wfsim/internal/runtime"
 	"wfsim/internal/sched"
+	"wfsim/internal/service"
 	"wfsim/internal/storage"
 )
 
@@ -219,3 +220,40 @@ type LinRegConfig = linreg.Config
 
 // BuildLinReg constructs a distributed linear-regression workflow.
 func BuildLinReg(cfg LinRegConfig) (*Workflow, error) { return linreg.Build(cfg) }
+
+// Multi-tenant online simulation: one shared simulated cluster serving a
+// stream of workflows from several tenants, with weighted fair-share
+// dispatch, admission quotas and streaming service metrics.
+type (
+	// ServiceConfig parameterizes an online service run (cluster, seed,
+	// tenant workload streams).
+	ServiceConfig = service.Config
+	// ServiceTenant describes one workload stream: fair-share weight,
+	// admission quota, Poisson rate or interarrival trace, and the
+	// workflow builder.
+	ServiceTenant = service.Tenant
+	// ServiceResult carries per-tenant queue-wait / response / slowdown
+	// distributions plus horizon and utilization.
+	ServiceResult = service.Result
+	// TenantReport is one tenant's service-level outcome.
+	TenantReport = service.TenantReport
+	// ClusterSim is the lower-level substrate: submit workflows at chosen
+	// virtual instants onto one shared cluster and collect per-workflow
+	// results as they finish.
+	ClusterSim = runtime.ClusterSim
+	// TenantSpec configures one ClusterSim tenant (weight, quota).
+	TenantSpec = runtime.TenantSpec
+	// WorkflowResult is one completed workflow's outcome in a ClusterSim.
+	WorkflowResult = runtime.WorkflowResult
+)
+
+// RunService executes the configured arrival streams on one shared
+// cluster and returns per-tenant service statistics. Deterministic in
+// (config, seed).
+func RunService(cfg ServiceConfig) (*ServiceResult, error) { return service.Run(cfg) }
+
+// NewClusterSim builds a shared-cluster simulation ready to accept
+// workflow submissions from the given tenants.
+func NewClusterSim(cfg SimConfig, tenants []TenantSpec) (*ClusterSim, error) {
+	return runtime.NewClusterSim(cfg, tenants)
+}

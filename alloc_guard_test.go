@@ -77,6 +77,51 @@ func TestSimAllocBudget(t *testing.T) {
 		})
 	}
 
+	// Streaming mode must hold the same budget with the same cancellation
+	// trick: a shared Aggregates sink and substrate arena persist across
+	// runs (the sweep-worker usage pattern), so in steady state the
+	// simulate path allocates nothing at all and the marginal cost is the
+	// build side's datum strings. This is the regime the million-task
+	// benchmark depends on — a collector would retain one record per task
+	// stage, while the sink's footprint stays O(task types), independent of
+	// depth.
+	t.Run("streaming-sink-arena", func(t *testing.T) {
+		var arena wfsim.Arena
+		agg := wfsim.NewAggregates()
+		streamAllocs := func(iterations int) float64 {
+			return testing.AllocsPerRun(3, func() {
+				wf, err := wfsim.BuildKMeans(wfsim.KMeansConfig{
+					Dataset: wfsim.Datasets.KMeansSmall, Grid: grid, Clusters: 10,
+					Iterations: iterations,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				agg.Reset()
+				res, err := wfsim.RunSim(wf, wfsim.SimConfig{
+					Device: wfsim.GPU, Storage: wfsim.LocalDisk, Policy: wfsim.DataLocality,
+					Sink: agg, Arena: &arena,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Collector != nil {
+					t.Fatal("streaming run retained a collector")
+				}
+			})
+		}
+		streamAllocs(deepIters)
+		shallow := streamAllocs(shallowIters)
+		deep := streamAllocs(deepIters)
+		marginalTasks := float64((grid + 1) * (deepIters - shallowIters))
+		perTask := (deep - shallow) / marginalTasks
+		t.Logf("allocs: shallow=%.0f deep=%.0f marginal/task=%.2f (budget %v)",
+			shallow, deep, perTask, budget)
+		if perTask > budget {
+			t.Errorf("streaming hot path allocates %.2f allocations per task, budget %v", perTask, budget)
+		}
+	})
+
 	// The multi-tenant substrate must hold the same budget: the fair-share
 	// gate, tenant accounting and per-session indirection may not put
 	// allocations on the per-task path. Two tenants submit overlapping

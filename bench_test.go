@@ -18,6 +18,7 @@ import (
 
 	"wfsim"
 	"wfsim/internal/experiments"
+	"wfsim/internal/metrics"
 	"wfsim/internal/runner"
 	"wfsim/internal/sched"
 	"wfsim/internal/sim"
@@ -299,6 +300,47 @@ func BenchmarkSimWorkflowLarge(b *testing.B) {
 			b.Fatalf("scheduled %d tasks, want %d", res.SchedDecisions, 1024*100+100)
 		}
 	}
+}
+
+// BenchmarkSimWorkflowHuge is the million-task scale point: a 4096-block
+// K-means with 250 Lloyd iterations (1,024,250 tasks). At this scale the
+// retained-records Collector alone would hold ~7M records, so the run
+// streams metrics into an Aggregates sink (memory stays O(aggregate
+// state), not O(tasks)) and recycles substrate storage through an arena
+// across iterations; the engine's auto queue selection migrates to the
+// ladder queue once the event population crosses the threshold.
+func BenchmarkSimWorkflowHuge(b *testing.B) {
+	b.ReportAllocs()
+	var arena wfsim.Arena
+	agg := metrics.NewAggregates()
+	const wantTasks = 4096*250 + 250
+	for i := 0; i < b.N; i++ {
+		wf, err := wfsim.BuildKMeans(wfsim.KMeansConfig{
+			Dataset: wfsim.Datasets.KMeansSmall, Grid: 4096, Clusters: 10,
+			Iterations: 250,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		agg.Reset()
+		res, err := wfsim.RunSim(wf, wfsim.SimConfig{
+			Device:  wfsim.GPU,
+			Storage: wfsim.LocalDisk,
+			Policy:  wfsim.DataLocality,
+			Sink:    agg,
+			Arena:   &arena,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.SchedDecisions != wantTasks {
+			b.Fatalf("scheduled %d tasks, want %d", res.SchedDecisions, wantTasks)
+		}
+		if res.Collector != nil {
+			b.Fatal("streaming run retained a collector")
+		}
+	}
+	b.ReportMetric(wantTasks, "tasks")
 }
 
 // BenchmarkDAGBuild isolates workflow construction — task generation,

@@ -153,6 +153,13 @@ func Build(cfg Config) (*runtime.Workflow, error) {
 	k := cfg.Clusters
 
 	wf := runtime.NewWorkflow("kmeans")
+	// Exact shape: per iteration g partial_sums (3 params each) + one
+	// merge (g+1 params); datums are g blocks, iters+1 centers versions
+	// and g partials per iteration.
+	iters := cfg.Iterations
+	wf.Hint(iters*(int(g)+1),
+		int(g)+iters+1+iters*int(g),
+		iters*(4*int(g)+1))
 	gen := cfg.Generator
 	if gen == nil {
 		gen = dataset.NewGenerator(42)

@@ -136,6 +136,12 @@ func Build(cfg Config) (*runtime.Workflow, error) {
 	n := cfg.Dataset.Cols
 
 	wf := runtime.NewWorkflow("linreg")
+	// Per iteration: g 4-param gradients + one (g+2)-param update; datums
+	// are 2g inputs, iters+1 weights versions and g deltas per iteration.
+	iters := cfg.Iterations
+	wf.Hint(iters*(int(g)+1),
+		2*int(g)+iters+1+iters*int(g),
+		iters*(5*int(g)+2))
 	gen := cfg.Generator
 	if gen == nil {
 		gen = dataset.NewGenerator(42)

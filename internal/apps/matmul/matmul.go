@@ -119,6 +119,17 @@ func Build(cfg Config) (*runtime.Workflow, error) {
 	}
 
 	wf := runtime.NewWorkflow(cfg.Variant.String())
+	// Dislib: g³ matmul_funcs + ~g³ add-tree reductions, 3 params each,
+	// over 2g² inputs + ~2g³ intermediates. FMA: g² zero_funcs + g³
+	// 3-param fma_funcs over 2g²+g² datums. The dislib figures slightly
+	// overshoot for g=1 edge shapes; Hint only needs to be close.
+	gi := int(g)
+	switch cfg.Variant {
+	case FMA:
+		wf.Hint(gi*gi*(gi+1), 3*gi*gi, gi*gi+3*gi*gi*gi)
+	default:
+		wf.Hint(2*gi*gi*gi, 2*gi*gi*(gi+1), 6*gi*gi*gi)
+	}
 	gen := cfg.Generator
 	if gen == nil {
 		gen = dataset.NewGenerator(42)

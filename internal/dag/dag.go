@@ -172,6 +172,53 @@ func New() *Graph {
 	return &Graph{data: NewInterner()}
 }
 
+// Hint pre-sizes the graph for a build of about tasks tasks, data
+// distinct datums and params total task parameters, collapsing the
+// geometric slab growth (and its copying) into one exact allocation per
+// arena. A builder that knows its counts — every generator-style workload
+// does — calls this once before the first Add; estimates only need to be
+// close, construction still grows past them correctly.
+func (g *Graph) Hint(tasks, data, params int) {
+	if tasks > cap(g.tasks) {
+		t := make([]*Task, len(g.tasks), tasks)
+		copy(t, g.tasks)
+		g.tasks = t
+	}
+	if free := cap(g.taskArena) - len(g.taskArena); tasks-len(g.tasks) > free {
+		g.taskArena = make([]Task, 0, tasks-len(g.tasks))
+	}
+	if cap(g.paramArena)-len(g.paramArena) < params {
+		g.paramArena = make([]Param, 0, params)
+	}
+	if cap(g.idArena)-len(g.idArena) < params {
+		g.idArena = make([]int32, 0, params)
+	}
+	if cap(g.depArena)-len(g.depArena) < params {
+		g.depArena = make([]int, 0, params)
+	}
+	if data > cap(g.lastWriter) {
+		lw := make([]int32, len(g.lastWriter), data)
+		copy(lw, g.lastWriter)
+		g.lastWriter = lw
+		v := make([]int32, len(g.versions), data)
+		copy(v, g.versions)
+		g.versions = v
+	}
+	g.data.Hint(data)
+}
+
+// Hint pre-sizes the interner for about data distinct names.
+func (in *Interner) Hint(data int) {
+	if data > cap(in.names) {
+		n := make([]string, len(in.names), data)
+		copy(n, in.names)
+		in.names = n
+	}
+	if len(in.ids) == 0 && data > 1024 {
+		in.ids = make(map[string]int32, data)
+	}
+}
+
 // Data returns the graph's datum interner, shared with every layer that
 // keys per-datum state by ID.
 func (g *Graph) Data() *Interner { return g.data }
@@ -422,22 +469,26 @@ func (g *Graph) Roots() []int {
 // dep/succ symmetry, and level consistency.
 func (g *Graph) Validate() error {
 	g.ensureSuccs()
+	// Successor lists are built in ascending task-ID order, and tasks
+	// iterate their deps in ascending ID order too, so one cursor per
+	// producer checks every edge's successor record in O(E) total — a
+	// per-edge scan of the producer's successor list would be quadratic
+	// for the high-fanout producers broadcast data induces.
+	cur := make([]int, len(g.tasks))
 	for _, t := range g.tasks {
 		want := 0
 		for _, d := range t.deps {
 			if d >= t.ID {
 				return fmt.Errorf("dag: task %d depends on later task %d", t.ID, d)
 			}
-			found := false
-			for _, s := range g.tasks[d].succs {
-				if s == t.ID {
-					found = true
-					break
-				}
+			succs := g.tasks[d].succs
+			for cur[d] < len(succs) && succs[cur[d]] < t.ID {
+				cur[d]++
 			}
-			if !found {
+			if cur[d] >= len(succs) || succs[cur[d]] != t.ID {
 				return fmt.Errorf("dag: edge %d->%d missing successor record", d, t.ID)
 			}
+			cur[d]++
 			if g.tasks[d].Level+1 > want {
 				want = g.tasks[d].Level + 1
 			}

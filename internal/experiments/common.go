@@ -161,10 +161,44 @@ func buildWorkflow(cfg CellConfig) (*runtime.Workflow, error) {
 	}
 }
 
+// cellScratch is per-worker state reused across RunCell trials: the
+// simulation arena plus the streaming aggregator. Allocated once per
+// runner slot; every later cell on that slot pays zero substrate and
+// aggregator setup.
+type cellScratch struct {
+	arena runtime.Arena
+	agg   *metrics.Aggregates
+}
+
+// scratchOf returns the worker slot's cellScratch, creating and stashing
+// one on first use; nil ctx or a non-worker ctx yields a fresh throwaway.
+func scratchOf(ctx context.Context) *cellScratch {
+	slot := runner.WorkerSlot(ctx)
+	if slot == nil {
+		return &cellScratch{agg: metrics.NewAggregates()}
+	}
+	if sc, ok := slot.Value().(*cellScratch); ok {
+		return sc
+	}
+	sc := &cellScratch{agg: metrics.NewAggregates()}
+	slot.Set(sc)
+	return sc
+}
+
 // RunCell executes one factor combination on the simulator and aggregates
 // the paper's metrics. OOM configurations return a Cell with OOM set
 // rather than an error, mirroring the figures' annotations.
 func RunCell(cfg CellConfig) (Cell, error) {
+	return runCell(cfg, &cellScratch{agg: metrics.NewAggregates()})
+}
+
+// runCell is RunCell with caller-provided scratch. Records stream into
+// scratch.agg as the simulation produces them — the run never materializes
+// a per-task record table — and every aggregate query below reproduces the
+// Collector arithmetic bit-for-bit (see metrics.Aggregates), so cells are
+// byte-identical to the retained-records implementation; the golden figure
+// fixtures pin this.
+func runCell(cfg CellConfig, scratch *cellScratch) (Cell, error) {
 	wf, err := buildWorkflow(cfg)
 	if err != nil {
 		return Cell{}, err
@@ -183,12 +217,15 @@ func RunCell(cfg CellConfig) (Cell, error) {
 	cell.GridString = part.GridString()
 	cell.Complexity = headlineComplexity(cfg, part)
 
+	scratch.agg.Reset()
 	res, err := runtime.RunSim(wf, runtime.SimConfig{
 		Cluster: cfg.Cluster,
 		Params:  cfg.Params,
 		Storage: cfg.Storage,
 		Policy:  cfg.Policy,
 		Device:  cfg.Device,
+		Sink:    scratch.agg,
+		Arena:   &scratch.arena,
 	})
 	if err != nil {
 		if runtime.ErrOOM(err) {
@@ -199,7 +236,7 @@ func RunCell(cfg CellConfig) (Cell, error) {
 		return Cell{}, err
 	}
 
-	c := res.Collector
+	c := scratch.agg
 	head := cfg.Algorithm.HeadlineTask()
 	cell.PFracMean, _ = c.MeanStage(head, metrics.StageParallel)
 	cell.SerialMean, _ = c.MeanStage(head, metrics.StageSerial)
@@ -292,7 +329,9 @@ func RunPair(cfg CellConfig) (cpu, gpu Cell, err error) {
 // simulated once and shared (CellKey memoization).
 func RunCells(ctx context.Context, eng *runner.Engine, label string, cfgs []CellConfig) ([]Cell, error) {
 	return runner.Map(ctx, eng, label, cfgs, CellKey,
-		func(_ context.Context, cfg CellConfig) (Cell, error) { return RunCell(cfg) })
+		func(ctx context.Context, cfg CellConfig) (Cell, error) {
+			return runCell(cfg, scratchOf(ctx))
+		})
 }
 
 // Pair is a CPU/GPU cell pair for one factor combination.

@@ -1,0 +1,313 @@
+package metrics
+
+import (
+	"sort"
+
+	"wfsim/internal/stats"
+)
+
+// sumCount is one streaming (sum of durations, contributing records)
+// accumulator.
+type sumCount struct {
+	sum float64
+	n   int
+}
+
+// span is a streaming min-start/max-end window.
+type span struct {
+	start, end float64
+	seen       bool
+}
+
+func (s *span) observe(start, end float64) {
+	if !s.seen {
+		s.start, s.end, s.seen = start, end, true
+		return
+	}
+	if start < s.start {
+		s.start = start
+	}
+	if end > s.end {
+		s.end = end
+	}
+}
+
+// Aggregates is the streaming Sink: it folds records into the fixed-size
+// sums the experiment figures query — per-(task type, stage) means,
+// per-core data movement, per-level spans, makespan — without retaining
+// any record. Memory is O(task types × stages + cores + levels),
+// independent of task count, which is what lets a 10⁶-task sweep cell run
+// in a few MB where a Collector would retain ~50 MB of records.
+//
+// Every query reproduces the corresponding Collector method bit-for-bit:
+// durations are accumulated in record-arrival order — the same order the
+// Collector's queries sum its retained records in — and cross-core /
+// cross-level reductions sum in ascending index order exactly as
+// Collector.MovementPerCore and Collector.MeanLevelSpan do. Switching a
+// run from Collector to Aggregates therefore cannot change a reported
+// float by even one ULP; the fig1 golden render pins this.
+//
+// Aggregates is not safe for concurrent use (see Sink). The zero value is
+// ready to use; Reset recycles one across trials without reallocating.
+type Aggregates struct {
+	n int
+
+	names  []string
+	byName map[string]int32
+	// Last-hit intern cache (see Collector): consecutive records share a
+	// task name, and upstream interning makes the strings
+	// pointer-identical, so the compare is one pointer check. The empty
+	// string bypasses the cache (it is its unset state).
+	lastName   string
+	lastNameID int32
+	// taskName marks name-table entries seen as task names (the table is
+	// shared with device names, which TaskNames must not report).
+	taskName []bool
+
+	// all[stage] accumulates over every record of the stage; perName is
+	// indexed [name*NumStages + stage]. Keeping both costs one extra add
+	// per record but makes MeanStage("",·) exact: summing per-name sums
+	// would re-associate the float additions.
+	all     [numStages]sumCount
+	perName []sumCount
+
+	// perCore is indexed [stage][core+1] (+1 absorbs the scheduler's
+	// core = -1 records); coreSeen tracks which cores contributed so the
+	// mean divides by active cores only.
+	perCore  [numStages][]float64
+	coreSeen [numStages][]bool
+
+	levels []span // indexed by DAG level
+
+	whole span // makespan window
+
+	// dist[stage] streams per-stage duration quantiles; nil unless
+	// WithQuantiles was called (three P² estimators per stage are not
+	// free on a hot path that otherwise costs a handful of adds).
+	dist *[numStages]*stats.Stream
+}
+
+// NewAggregates returns an empty streaming sink.
+func NewAggregates() *Aggregates { return &Aggregates{} }
+
+// WithQuantiles enables per-stage duration quantile streams (p50/p95/p99
+// via stats.Stream) and returns the receiver.
+func (a *Aggregates) WithQuantiles() *Aggregates {
+	var d [numStages]*stats.Stream
+	for i := range d {
+		d[i] = stats.NewStream()
+	}
+	a.dist = &d
+	return a
+}
+
+// Reset clears every accumulator while keeping capacity, so one Aggregates
+// serves every trial a sweep worker runs.
+func (a *Aggregates) Reset() {
+	a.n = 0
+	a.names = a.names[:0]
+	a.lastName, a.lastNameID = "", 0
+	clear(a.byName)
+	a.taskName = a.taskName[:0]
+	a.all = [numStages]sumCount{}
+	clear(a.perName)
+	a.perName = a.perName[:0]
+	for s := range a.perCore {
+		clear(a.perCore[s])
+		for i := range a.coreSeen[s] {
+			a.coreSeen[s][i] = false
+		}
+	}
+	a.levels = a.levels[:0]
+	a.whole = span{}
+	if a.dist != nil {
+		for i := range a.dist {
+			a.dist[i] = stats.NewStream()
+		}
+	}
+}
+
+func (a *Aggregates) intern(s string, isTask bool) int32 {
+	id, ok := a.byName[s]
+	if !ok {
+		if a.byName == nil {
+			a.byName = make(map[string]int32, 16)
+		}
+		id = int32(len(a.names))
+		a.names = append(a.names, s)
+		a.taskName = append(a.taskName, false)
+		a.byName[s] = id
+		a.perName = append(a.perName, make([]sumCount, NumStages)...)
+	}
+	if isTask {
+		a.taskName[id] = true
+	}
+	return id
+}
+
+// Observe folds one record into the aggregates.
+func (a *Aggregates) Observe(r Record) {
+	a.n++
+	d := r.End - r.Start
+	st := int(r.Stage)
+	name := a.lastNameID
+	if r.TaskName != a.lastName || r.TaskName == "" {
+		name = a.intern(r.TaskName, true)
+		a.lastName, a.lastNameID = r.TaskName, name
+	}
+
+	a.all[st].sum += d
+	a.all[st].n++
+	pn := &a.perName[int(name)*NumStages+st]
+	pn.sum += d
+	pn.n++
+
+	core := r.Core + 1
+	if core >= len(a.perCore[st]) {
+		a.perCore[st] = append(a.perCore[st], make([]float64, core+1-len(a.perCore[st]))...)
+		a.coreSeen[st] = append(a.coreSeen[st], make([]bool, core+1-len(a.coreSeen[st]))...)
+	}
+	a.perCore[st][core] += d
+	a.coreSeen[st][core] = true
+
+	if r.Level >= len(a.levels) {
+		a.levels = append(a.levels, make([]span, r.Level+1-len(a.levels))...)
+	}
+	a.levels[r.Level].observe(r.Start, r.End)
+
+	a.whole.observe(r.Start, r.End)
+
+	if a.dist != nil {
+		a.dist[st].Observe(d)
+	}
+}
+
+// Len returns the number of records observed.
+func (a *Aggregates) Len() int { return a.n }
+
+// MeanStage mirrors Collector.MeanStage: the mean duration of a stage over
+// tasks of the given type ("" matches every type) and the contributing
+// record count.
+func (a *Aggregates) MeanStage(taskName string, stage Stage) (float64, int) {
+	sc := a.all[stage]
+	if taskName != "" {
+		id, ok := a.byName[taskName]
+		if !ok {
+			return 0, 0
+		}
+		sc = a.perName[int(id)*NumStages+int(stage)]
+	}
+	if sc.n == 0 {
+		return 0, 0
+	}
+	return sc.sum / float64(sc.n), sc.n
+}
+
+// SumStage mirrors Collector.SumStage.
+func (a *Aggregates) SumStage(taskName string, stage Stage) float64 {
+	if taskName == "" {
+		return a.all[stage].sum
+	}
+	id, ok := a.byName[taskName]
+	if !ok {
+		return 0
+	}
+	return a.perName[int(id)*NumStages+int(stage)].sum
+}
+
+// UserCodeMean mirrors Collector.UserCodeMean.
+func (a *Aggregates) UserCodeMean(taskName string) float64 {
+	var total float64
+	for _, st := range []Stage{StageSerial, StageParallel, StageCommIn, StageCommOut} {
+		m, n := a.MeanStage(taskName, st)
+		if n > 0 {
+			total += m
+		}
+	}
+	return total
+}
+
+// MovementPerCore mirrors Collector.MovementPerCore: per-core sums are
+// reduced in ascending core order, the same order the Collector's sorted
+// reduction uses.
+func (a *Aggregates) MovementPerCore(stage Stage) float64 {
+	var sum float64
+	active := 0
+	for core, seen := range a.coreSeen[stage] {
+		if seen {
+			sum += a.perCore[stage][core]
+			active++
+		}
+	}
+	if active == 0 {
+		return 0
+	}
+	return sum / float64(active)
+}
+
+// LevelSpan mirrors Collector.LevelSpan.
+func (a *Aggregates) LevelSpan(level int) (start, end float64, ok bool) {
+	if level < 0 || level >= len(a.levels) || !a.levels[level].seen {
+		return 0, 0, false
+	}
+	return a.levels[level].start, a.levels[level].end, true
+}
+
+// Levels mirrors Collector.Levels: the sorted levels observed.
+func (a *Aggregates) Levels() []int {
+	out := []int{}
+	for l, sp := range a.levels {
+		if sp.seen {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// MeanLevelSpan mirrors Collector.MeanLevelSpan: level spans reduce in
+// ascending level order.
+func (a *Aggregates) MeanLevelSpan() float64 {
+	var sum float64
+	n := 0
+	for _, sp := range a.levels {
+		if sp.seen {
+			sum += sp.end - sp.start
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Makespan mirrors Collector.Makespan.
+func (a *Aggregates) Makespan() float64 {
+	if !a.whole.seen {
+		return 0
+	}
+	return a.whole.end - a.whole.start
+}
+
+// TaskNames mirrors Collector.TaskNames: distinct task types, sorted.
+// (Names arrive in first-observation order, which is deterministic, but
+// the sorted contract matches the Collector's.)
+func (a *Aggregates) TaskNames() []string {
+	out := []string{}
+	for id, isTask := range a.taskName {
+		if isTask {
+			out = append(out, a.names[id])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StageDist returns the streaming duration distribution of one stage, or
+// nil unless WithQuantiles was enabled.
+func (a *Aggregates) StageDist(stage Stage) *stats.Stream {
+	if a.dist == nil {
+		return nil
+	}
+	return a.dist[stage]
+}

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAggregatesMatchCollector feeds an identical randomized record stream
+// to a Collector and an Aggregates and demands every shared query agree to
+// the exact float: the streaming sink claims bit-for-bit equivalence
+// (arrival-order accumulation, ascending-index reductions), and "close
+// enough" would let sweep results drift when a run switches modes.
+func TestAggregatesMatchCollector(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	names := []string{"gradient", "update", "partial_sum", "matmul_func"}
+	devices := []string{"gpu0", "cpu", ""}
+
+	c := NewCollector()
+	a := NewAggregates()
+	// Two passes over the same sink pair, with a Reset between, prove
+	// Reset leaves no residue in either the accumulators or the intern
+	// cache.
+	for pass := 0; pass < 2; pass++ {
+		c = NewCollector()
+		a.Reset()
+		var last Record
+		for i := 0; i < 5000; i++ {
+			r := Record{
+				TaskID:   i / NumStages,
+				TaskName: names[rng.Intn(len(names))],
+				Device:   devices[rng.Intn(len(devices))],
+				Stage:    Stage(rng.Intn(NumStages)),
+				Core:     rng.Intn(9) - 1,
+				Level:    rng.Intn(10),
+			}
+			r.Start = rng.Float64() * 100
+			r.End = r.Start + rng.Float64()*10
+			// Exercise the last-hit intern cache: repeat the previous
+			// record's name roughly half the time, like the real stream
+			// of per-stage records for one task does.
+			if i > 0 && rng.Intn(2) == 0 {
+				r.TaskName = last.TaskName
+			}
+			last = r
+			c.Observe(r)
+			a.Observe(r)
+		}
+
+		if c.Len() != a.Len() {
+			t.Fatalf("Len: collector %d, aggregates %d", c.Len(), a.Len())
+		}
+		for _, name := range append([]string{""}, names...) {
+			for st := Stage(0); st < Stage(NumStages); st++ {
+				cm, cn := c.MeanStage(name, st)
+				am, an := a.MeanStage(name, st)
+				if cm != am || cn != an {
+					t.Errorf("MeanStage(%q, %v): collector (%v, %d), aggregates (%v, %d)",
+						name, st, cm, cn, am, an)
+				}
+				if cs, as := c.SumStage(name, st), a.SumStage(name, st); cs != as {
+					t.Errorf("SumStage(%q, %v): collector %v, aggregates %v", name, st, cs, as)
+				}
+			}
+			if cu, au := c.UserCodeMean(name), a.UserCodeMean(name); cu != au {
+				t.Errorf("UserCodeMean(%q): collector %v, aggregates %v", name, cu, au)
+			}
+		}
+		for st := Stage(0); st < Stage(NumStages); st++ {
+			if cm, am := c.MovementPerCore(st), a.MovementPerCore(st); cm != am {
+				t.Errorf("MovementPerCore(%v): collector %v, aggregates %v", st, cm, am)
+			}
+		}
+		cl, al := c.Levels(), a.Levels()
+		if len(cl) != len(al) {
+			t.Fatalf("Levels: collector %v, aggregates %v", cl, al)
+		}
+		for i := range cl {
+			if cl[i] != al[i] {
+				t.Fatalf("Levels: collector %v, aggregates %v", cl, al)
+			}
+			cs, ce, cok := c.LevelSpan(cl[i])
+			as, ae, aok := a.LevelSpan(al[i])
+			if cs != as || ce != ae || cok != aok {
+				t.Errorf("LevelSpan(%d): collector (%v, %v, %v), aggregates (%v, %v, %v)",
+					cl[i], cs, ce, cok, as, ae, aok)
+			}
+		}
+		if cm, am := c.MeanLevelSpan(), a.MeanLevelSpan(); cm != am {
+			t.Errorf("MeanLevelSpan: collector %v, aggregates %v", cm, am)
+		}
+		if cm, am := c.Makespan(), a.Makespan(); cm != am {
+			t.Errorf("Makespan: collector %v, aggregates %v", cm, am)
+		}
+		cn, an := c.TaskNames(), a.TaskNames()
+		if len(cn) != len(an) {
+			t.Fatalf("TaskNames: collector %v, aggregates %v", cn, an)
+		}
+		for i := range cn {
+			if cn[i] != an[i] {
+				t.Fatalf("TaskNames: collector %v, aggregates %v", cn, an)
+			}
+		}
+	}
+}

@@ -26,6 +26,32 @@ import (
 	"time"
 )
 
+// Slot is worker-local scratch state that persists across Run calls: a
+// worker goroutine checks one out for the duration of a trial batch and
+// returns it when the batch drains, so whatever a trial stashes here
+// (simulation arenas, streaming aggregators) is reused by later trials on
+// the same slot instead of reallocated. Exactly one worker holds a slot
+// at a time — trials may mutate it without locking — but successive
+// holders are different goroutines, so anything stored must be safe to
+// hand off (plain data, not goroutine-affine handles).
+type Slot struct{ value any }
+
+// Value returns what the previous trial on this slot stored, or nil.
+func (s *Slot) Value() any { return s.value }
+
+// Set stores v for later trials executing on this slot.
+func (s *Slot) Set(v any) { s.value = v }
+
+type slotCtxKey struct{}
+
+// WorkerSlot returns the executing worker's persistent scratch slot, or
+// nil when ctx did not come from an Engine worker (direct trial
+// invocation in tests, plain contexts).
+func WorkerSlot(ctx context.Context) *Slot {
+	s, _ := ctx.Value(slotCtxKey{}).(*Slot)
+	return s
+}
+
 // Trial is one independent unit of work: typically a single simulated
 // workflow execution for one factor combination.
 type Trial struct {
@@ -103,6 +129,10 @@ type Engine struct {
 	mu    sync.Mutex
 	memo  map[string]*memoEntry
 	stats Stats
+	// free is the slot pool. Slots are checked out per worker goroutine
+	// per Run call; the pool never shrinks, so at most max-concurrent-
+	// workers slots ever exist.
+	free []*Slot
 }
 
 type memoEntry struct {
@@ -153,8 +183,11 @@ func (e *Engine) Run(ctx context.Context, trials []Trial) (*Report, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			slot := e.acquireSlot()
+			defer e.releaseSlot(slot)
+			slotCtx := context.WithValue(runCtx, slotCtxKey{}, slot)
 			for i := range idx {
-				errs[i] = e.runTrial(runCtx, trials[i], &outcomes[i])
+				errs[i] = e.runTrial(slotCtx, trials[i], &outcomes[i])
 				if errs[i] != nil {
 					cancel() // first-error propagation: stop launching
 				}
@@ -253,6 +286,25 @@ func (e *Engine) runTrial(ctx context.Context, t Trial, out *Outcome) error {
 	}
 	out.Value, out.Wall, out.Virtual = ent.value, time.Since(start), ent.virtual
 	return nil
+}
+
+// acquireSlot checks a scratch slot out of the pool, creating one when
+// every existing slot is held (concurrent Run calls).
+func (e *Engine) acquireSlot() *Slot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n := len(e.free); n > 0 {
+		s := e.free[n-1]
+		e.free = e.free[:n-1]
+		return s
+	}
+	return &Slot{}
+}
+
+func (e *Engine) releaseSlot(s *Slot) {
+	e.mu.Lock()
+	e.free = append(e.free, s)
+	e.mu.Unlock()
 }
 
 func virtualOf(v any) float64 {

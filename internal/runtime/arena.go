@@ -1,0 +1,47 @@
+package runtime
+
+import (
+	"wfsim/internal/sched"
+	"wfsim/internal/sim"
+)
+
+// Arena recycles a simulated run's substrate allocations across trials:
+// the engine's event-node slabs, heap/ladder storage and proc bookkeeping
+// (sim.Arena), the per-task dependency counters, and the ready-queue
+// input-location slab. A sweep worker that owns an Arena pays these
+// allocations on its first trial only.
+//
+// An Arena may serve one run at a time — sharing one across concurrent
+// RunSim calls is a data race. internal/runner hands each worker its own
+// per-worker state for exactly this reason. Everything an Arena retains
+// is either re-stamped (event nodes) or zeroed (dependency counters) on
+// reuse; see DESIGN.md §12 for the full lifetime rules.
+type Arena struct {
+	nodes     sim.Arena
+	remaining []int
+	inputs    []sched.DataLoc
+	load      []int
+}
+
+// grabRemaining returns a zeroed dependency-counter slice of length n,
+// reusing the arena's buffer when it is large enough.
+func (a *Arena) grabRemaining(n int) []int {
+	if cap(a.remaining) < n {
+		a.remaining = make([]int, n)
+		return a.remaining
+	}
+	s := a.remaining[:n]
+	clear(s)
+	return s
+}
+
+// grabLoad returns a zeroed per-node load slice of length n.
+func (a *Arena) grabLoad(n int) []int {
+	if cap(a.load) < n {
+		a.load = make([]int, n)
+		return a.load
+	}
+	s := a.load[:n]
+	clear(s)
+	return s
+}

@@ -142,7 +142,7 @@ func (c *ClusterSim) Submit(tenant int, wf *Workflow, at float64, onDone func(Wo
 			// Release the session's per-task state; the callback owns
 			// whatever it kept. The session header (indices, instants)
 			// stays for accounting.
-			s.wf, s.collector = nil, nil
+			s.wf, s.collector, s.sink = nil, nil, nil
 			s.remaining, s.levelWidth = nil, nil
 			s.attempts, s.doneTask, s.inFlight, s.waiters, s.counted = nil, nil, nil, nil, nil
 		})

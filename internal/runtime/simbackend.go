@@ -45,6 +45,24 @@ type SimConfig struct {
 	// value disables injection entirely: the run is byte-identical to
 	// one built before the fault machinery existed.
 	Faults faults.Config
+	// EventQueue selects the engine's pending-event queue. The default
+	// (sim.QueueAuto) starts on the 4-ary heap and migrates to the
+	// ladder queue when pending events cross the engine's threshold;
+	// both implementations pop in identical (at, seq) order, so the knob
+	// never changes a run's trace — only its speed at scale.
+	EventQueue sim.QueueKind
+	// Sink, when non-nil, streams every stage record into the given
+	// consumer instead of retaining them in a run-private Collector:
+	// metrics memory becomes O(aggregate state) instead of O(tasks), the
+	// regime million-task runs need. SimResult.Collector is nil in this
+	// mode (per-workflow results from ClusterSim likewise carry no
+	// collector). The sink must not be shared with a concurrent run; in
+	// a multi-workflow run every session feeds the same sink.
+	Sink metrics.Sink
+	// Arena, when non-nil, recycles substrate storage (event-node slabs,
+	// queue backing, dependency counters, input slabs) across runs that
+	// release into it. One run at a time per arena.
+	Arena *Arena
 }
 
 func (c SimConfig) withDefaults() SimConfig {
@@ -79,6 +97,11 @@ func (c SimConfig) Validate() error {
 		if s <= 0 {
 			return fmt.Errorf("runtime: NodeSpeed[%d] = %v, must be positive", i, s)
 		}
+	}
+	switch c.EventQueue {
+	case sim.QueueAuto, sim.QueueHeap, sim.QueueLadder:
+	default:
+		return fmt.Errorf("runtime: unknown EventQueue kind %d", c.EventQueue)
 	}
 	return nil
 }
@@ -189,6 +212,11 @@ func RunSim(wf *Workflow, cfg SimConfig) (*SimResult, error) {
 		res.Faults = run.stats
 	}
 	res.CoreUtilization, res.GPUUtilization = run.utilization()
+	if a := cfg.Arena; a != nil {
+		// The engine is drained; donate its substrate storage back for
+		// the caller's next trial.
+		run.eng.Release(&a.nodes)
+	}
 	return res, nil
 }
 
@@ -228,7 +256,12 @@ type session struct {
 	wf     *Workflow
 	// collector receives this workflow's stage records only, so teardown
 	// can hand per-workflow metrics back while the cluster keeps running.
+	// nil in streaming mode, where records flow to the shared sink instead.
 	collector *metrics.Collector
+	// sink is where stage records actually land: the session's own
+	// collector normally, the run's shared SimConfig.Sink in streaming
+	// mode. Never nil while the session runs.
+	sink      metrics.Sink
 	remaining []int // unmet dependency count per task
 	// levelWidth is tasks per DAG level (solo-task thread-speedup rule).
 	levelWidth []int
@@ -333,7 +366,13 @@ type simRun struct {
 // pre-refactor runtime exactly. The caller applies withDefaults and
 // validates first.
 func newSimRun(cfg SimConfig, numDataHint int) (*simRun, error) {
-	eng := sim.New()
+	var eng *sim.Engine
+	if cfg.Arena != nil {
+		eng = sim.NewIn(&cfg.Arena.nodes)
+	} else {
+		eng = sim.New()
+	}
+	eng.SetQueueKind(cfg.EventQueue)
 	clu, err := cluster.Build(eng, cfg.Cluster, *cfg.Params)
 	if err != nil {
 		return nil, err
@@ -349,8 +388,13 @@ func newSimRun(cfg SimConfig, numDataHint int) (*simRun, error) {
 	r := &simRun{
 		cfg: cfg, params: cfg.Params,
 		eng: eng, clu: clu, store: store, scheduler: scheduler,
-		load:  make([]int, cfg.Cluster.Nodes),
 		slots: make([][]uint64, cfg.Cluster.Nodes),
+	}
+	if a := cfg.Arena; a != nil {
+		r.load = a.grabLoad(cfg.Cluster.Nodes)
+		r.inputSlab = a.inputs[:0]
+	} else {
+		r.load = make([]int, cfg.Cluster.Nodes)
 	}
 	r.taskProcFn = r.taskProc
 	r.requestFn = clu.Master.Request
@@ -400,19 +444,26 @@ func newSimRun(cfg SimConfig, numDataHint int) (*simRun, error) {
 func (r *simRun) addSession(wf *Workflow, tenant int32, onDone func(*session)) *session {
 	s := &session{
 		idx: int32(len(r.sessions)), tenant: tenant, wf: wf,
-		collector: metrics.NewCollector(),
-		remaining: make([]int, wf.Graph.Len()),
+		remaining: r.grabRemaining(wf.Graph.Len()),
 		dataBase:  r.nextData,
 		submitted: r.eng.Now(),
 		onDone:    onDone,
 	}
+	if r.cfg.Sink != nil {
+		// Streaming mode: records fold into the shared sink as they are
+		// produced; nothing per-task is retained.
+		s.sink = r.cfg.Sink
+	} else {
+		s.collector = metrics.NewCollector()
+		s.sink = s.collector
+		// Every record buffer append lands in one up-front allocation: the
+		// record count is bounded by tasks × stages (faulty runs may append
+		// past it; they are not on the allocation-free path anyway).
+		s.collector.Grow(wf.Graph.Len() * metrics.NumStages)
+	}
 	r.nextData += int32(wf.Graph.NumData())
 	r.sessions = append(r.sessions, s)
 	r.active++
-	// Every record buffer append lands in one up-front allocation: the
-	// record count is bounded by tasks × stages (faulty runs may append
-	// past it; they are not on the allocation-free path anyway).
-	s.collector.Grow(wf.Graph.Len() * metrics.NumStages)
 	for _, lvl := range wf.Graph.Levels() {
 		s.levelWidth = append(s.levelWidth, len(lvl))
 	}
@@ -534,18 +585,38 @@ func (r *simRun) releaseSlot(node, slot int) {
 	r.slots[node][slot/64] |= 1 << (slot % 64)
 }
 
+// grabRemaining returns zeroed dependency counters for one session. The
+// arena's recycled buffer serves the single-session path only: co-resident
+// multi-tenant sessions each need their own backing, so any session after
+// the first (and every session under a fair-share gate) allocates.
+func (r *simRun) grabRemaining(n int) []int {
+	if a := r.cfg.Arena; a != nil && r.multi == nil && len(r.sessions) == 0 {
+		return a.grabRemaining(n)
+	}
+	return make([]int, n)
+}
+
 // borrowInputs returns a zero-length DataLoc slice with capacity n, carved
 // from a slab so each ready task's input list is not an individual
 // allocation. Slices are never returned: the total input-list footprint of
 // a run is a few entries per task, so the slabs cost tens of kilobytes
-// where per-task allocations cost one heap object each.
+// where per-task allocations cost one heap object each. Slabs grow
+// geometrically so a million-task run fills O(log n) of them, and the
+// biggest one is what an arena retains for the next trial.
 func (r *simRun) borrowInputs(n int) []sched.DataLoc {
 	if cap(r.inputSlab)-len(r.inputSlab) < n {
-		c := 1024
+		c := 2 * cap(r.inputSlab)
+		if c < 1024 {
+			c = 1024
+		}
 		if c < n {
 			c = n
 		}
-		r.inputSlab = make([]sched.DataLoc, 0, c)
+		slab := make([]sched.DataLoc, 0, c)
+		if a := r.cfg.Arena; a != nil && cap(slab) > cap(a.inputs) {
+			a.inputs = slab
+		}
+		r.inputSlab = slab
 	}
 	k := len(r.inputSlab)
 	s := r.inputSlab[k : k : k+n]
@@ -644,7 +715,7 @@ func (r *simRun) rec(s *session, buf *attemptRecs, task *dag.Task, nodeID, core 
 		buf.n++
 		return
 	}
-	s.collector.Add(rec)
+	s.sink.Observe(rec)
 }
 
 // grantNext runs engine-side at the instant the master is granted to the
@@ -913,7 +984,7 @@ func (r *simRun) runAttempt(p *sim.Proc, s *session, ref sched.TaskRef, task *da
 	r.load[nodeID]--
 	if buf != nil {
 		for i := 0; i < buf.n; i++ {
-			s.collector.Add(buf.recs[i])
+			s.sink.Observe(buf.recs[i])
 		}
 		if s.doneTask[task.ID] {
 			// A lineage re-execution of an already-completed producer.
@@ -936,7 +1007,7 @@ func (r *simRun) abortAttempt(p *sim.Proc, s *session, task *dag.Task, nodeID, s
 	node.Cores.Release()
 	r.load[nodeID]--
 	r.stats.WastedWork += p.Now() - bodyStart
-	s.collector.Add(metrics.Record{
+	s.sink.Observe(metrics.Record{
 		TaskID: task.ID, TaskName: task.Name, Level: task.Level,
 		Node: nodeID, Core: nodeID*r.cfg.Cluster.CoresPerNode + slot, Device: dev.String(),
 		Stage: metrics.StageRecovery, Start: bodyStart, End: p.Now(),

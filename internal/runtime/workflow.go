@@ -77,6 +77,26 @@ func NewWorkflow(name string) *Workflow {
 	}
 }
 
+// Hint pre-sizes the workflow for a build of about tasks tasks, data
+// distinct datums and params total task parameters (see dag.Graph.Hint).
+// Estimates only need to be close; construction grows past them correctly.
+func (w *Workflow) Hint(tasks, data, params int) {
+	w.Graph.Hint(tasks, data, params)
+	if tasks > cap(w.specs) {
+		s := make([]TaskSpec, len(w.specs), tasks)
+		copy(s, w.specs)
+		w.specs = s
+	}
+	if data > cap(w.sizes) {
+		sz := make([]float64, len(w.sizes), data)
+		copy(sz, w.sizes)
+		w.sizes = sz
+		sd := make([]bool, len(w.sized), data)
+		copy(sd, w.sized)
+		w.sized = sd
+	}
+}
+
 // datumID interns key and grows the size tables to cover it.
 func (w *Workflow) datumID(key string) int32 {
 	id := w.Graph.DatumID(key)

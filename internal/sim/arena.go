@@ -1,0 +1,92 @@
+package sim
+
+// Arena holds a finished engine's recyclable substrate storage — event-node
+// slabs, the heap's backing array, proc bookkeeping slices and the ladder
+// queue's bucket freelists — so a sweep running thousands of trials warms
+// these allocations once per worker instead of once per trial.
+//
+// Lifetime rules (see DESIGN.md §12): an Arena may be used by one run at a
+// time (runner gives each worker its own); Engine.Release may only be
+// called after Run has returned, when no events are pending; and adopted
+// node slabs get a generation bump, so Event handles from a released run
+// degrade into no-ops exactly like handles to recycled pool nodes within
+// a run. Process coroutines are not arena state — they already recycle
+// engine-to-engine through the package-global proc pool.
+type Arena struct {
+	slabs     [][]event
+	free      []*event
+	heap      eventHeap
+	ring      []ringEntry
+	lq        *ladderQueue
+	allProcs  []*Proc
+	freeProcs []*Proc
+}
+
+// NewIn returns an engine whose substrate storage is adopted from the
+// arena (New semantics when a is nil or empty). Every adopted node is
+// re-stamped: generation bumped, re-pointed at the new engine, and filed
+// on the free list.
+func NewIn(a *Arena) *Engine {
+	e := New()
+	if a == nil {
+		return e
+	}
+	e.slabs, a.slabs = a.slabs, nil
+	e.free, a.free = a.free[:0], nil
+	for _, slab := range e.slabs {
+		for i := range slab {
+			n := &slab[i]
+			n.gen++
+			n.eng = e
+			n.index = -1
+			n.fn = nil
+			n.proc = nil
+			n.owned = false
+			n.canceled = false
+			e.free = append(e.free, n)
+		}
+	}
+	e.hq.h, a.heap = a.heap, nil
+	e.ring, a.ring = a.ring, nil
+	e.spareLQ, a.lq = a.lq, nil
+	e.allProcs, a.allProcs = a.allProcs, nil
+	e.freeProcs, a.freeProcs = a.freeProcs, nil
+	return e
+}
+
+// Release donates the engine's substrate storage to the arena for the
+// next NewIn. It must only be called once the engine is finished (Run
+// returned): the schedule is empty, so every slab node is idle.
+func (e *Engine) Release(a *Arena) {
+	a.slabs = append(a.slabs, e.slabs...)
+	e.slabs, e.nodeSlab = nil, nil
+	a.free, e.free = e.free[:0], nil
+	a.heap, e.hq.h = e.hq.h[:0], nil
+	a.ring, e.ring = e.ring[:0], nil
+	e.ringHead, e.ringLive = 0, 0
+	if e.lq != nil {
+		e.lq.reset()
+		a.lq, e.lq = e.lq, nil
+	}
+	a.allProcs, e.allProcs = e.allProcs[:0], nil
+	a.freeProcs, e.freeProcs = e.freeProcs[:0], nil
+	e.q = &e.hq
+}
+
+// reset empties a drained ladder queue for reuse, keeping its bucket and
+// rung freelists warm. Any resident stale entries (cancelled nodes never
+// reaped) are cleared so no pointer into the previous run's slabs
+// survives.
+func (q *ladderQueue) reset() {
+	for _, r := range q.rungs {
+		q.putRung(r)
+	}
+	q.rungs = q.rungs[:0]
+	clear(q.bottom)
+	q.bottom, q.bot0 = nil, 0
+	clear(q.top)
+	q.top = q.top[:0]
+	q.nlive = 0
+	q.spread = false
+	q.topStart, q.topMax = 0, 0
+}

@@ -1,0 +1,350 @@
+package sim
+
+import (
+	"math"
+	"slices"
+)
+
+// This file implements the ladder queue (Tang, Goh & Thng, ACM TOMACS
+// 2005): a multi-level calendar structure whose enqueue and dequeue are
+// amortized O(1) regardless of pending-event count, where a binary or
+// 4-ary heap pays O(log n) per operation. At 10⁶ pending events the heap
+// walks ~10 levels of increasingly cold cache lines per pop; the ladder
+// touches one bucket.
+//
+// Structure. Events live in three tiers:
+//
+//   - top: an unsorted overflow list for far-future events (at >=
+//     topStart). While the queue has no spread structure yet, every
+//     insert lands here — bulk loading is O(1) per event.
+//   - rungs: a stack of bucket arrays. Each rung divides a time span into
+//     fixed-width buckets; rungs[0] covers the latest span (created by
+//     spreading top) and each deeper rung subdivides one bucket of the
+//     rung above it into a finer span. Buckets within a rung are consumed
+//     in ascending index order (r.cur is the consumption cursor).
+//   - bottom: the earliest bucket's events, sorted by (at, seq) and
+//     consumed front to back (bot0). Sorting is confined to one bucket at
+//     a time, which is what keeps the amortized cost constant: a bucket
+//     that is still too large to sort cheaply is spread into a finer rung
+//     instead.
+//
+// Ordering invariant. Bucket assignment uses the canonical index
+// floor((at-base)/width), which is monotone non-decreasing in at (IEEE
+// subtraction and division are monotone, floor is monotone), so for
+// buckets i < j every event in i keys <= every event in j; consuming
+// buckets in index order and sorting each one before handing it to bottom
+// therefore yields the exact global (at, seq) order the heap produces.
+// Inserts route to the coarsest rung whose unconsumed region contains the
+// event's canonical bucket; events earlier than every unconsumed bucket
+// sort-insert directly into bottom (at position >= bot0 — the clock never
+// goes backwards, so an insert is never earlier than an already-popped
+// event).
+//
+// Deletion and reschedule are lazy: Cancel only flags the node (index =
+// -1) and Engine.fixNode inserts a fresh entry under the node's new seq.
+// A resident entry is live iff its captured seq still matches the node's
+// and the node is on-queue; everything else is reaped when its bucket is
+// spread, sorted, or popped. Sequence numbers are globally unique, so at
+// most one entry per node is ever live.
+
+const (
+	// ladderSortMax is the largest bucket sorted straight into bottom;
+	// bigger live buckets are spread into a finer rung instead (unless
+	// degenerate: zero time span, or maxRungs reached).
+	ladderSortMax = 64
+	// ladderMaxBuckets caps a rung's bucket count: spreading N events
+	// targets ~1 event per bucket but never more than this many buckets,
+	// so a million-event top spread costs ~100 KB of bucket headers, not
+	// ~24 MB. Overfull buckets simply spread again one level down.
+	ladderMaxBuckets = 4096
+	// ladderMaxRungs bounds the rung stack; a bucket that is still
+	// oversized at the bottom rung is sorted directly. Spans shrink by
+	// ~ladderMaxBuckets per level, so real schedules never get close.
+	ladderMaxRungs = 16
+)
+
+// lent is one resident ladder entry: the node's ordering key captured at
+// insert time, plus the node. A stale entry (seq mismatch or off-queue
+// node) is reaped lazily.
+type lent struct {
+	at  float64
+	seq uint64
+	n   *event
+}
+
+// lentBefore orders entries by (at, seq).
+func lentBefore(a, b lent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func cmpLent(a, b lent) int {
+	if lentBefore(a, b) {
+		return -1
+	}
+	return 1 // keys are unique (seq is), so equality never happens
+}
+
+// rung is one ladder level: a bucket array over [base, base+width*len).
+type rung struct {
+	base    float64
+	width   float64
+	cur     int // next bucket to consume; buckets below cur are dead
+	buckets [][]lent
+	// remaining counts resident entries (live or stale) in buckets[cur:],
+	// so an exhausted rung is detected without scanning.
+	remaining int
+}
+
+// ladderQueue implements eventQueue. See the file comment for structure
+// and invariants.
+type ladderQueue struct {
+	nlive int // live entries (Pending)
+
+	bottom []lent
+	bot0   int // consumption cursor into bottom
+
+	rungs []*rung
+
+	top      []lent
+	topStart float64 // established by the first top spread
+	topMax   float64 // max at currently resident in top
+	spread   bool    // true once the first top spread happened
+
+	// freelists: consumed bucket backing arrays and exhausted rungs are
+	// recycled; with arena reuse they survive across runs.
+	freeBuckets [][]lent
+	freeRungs   []*rung
+}
+
+func newLadderQueue() *ladderQueue { return &ladderQueue{} }
+
+func (q *ladderQueue) len() int { return q.nlive }
+
+// stale reports whether a resident entry no longer represents its node's
+// current schedule.
+func stale(e lent) bool { return e.n.index < 0 || e.n.seq != e.seq }
+
+func (q *ladderQueue) push(n *event) {
+	n.index = 0 // on-queue marker; the ladder needs no positional index
+	q.nlive++
+	q.insert(lent{at: n.at, seq: n.seq, n: n})
+}
+
+func (q *ladderQueue) fix(n *event) {
+	// The node was re-keyed in place (Engine.fixNode assigns a fresh seq
+	// first); the old entry went stale by seq mismatch the same moment.
+	// Inserting the new key is all a lazy-deletion reschedule needs —
+	// nlive is unchanged, the node never left the queue.
+	q.insert(lent{at: n.at, seq: n.seq, n: n})
+}
+
+func (q *ladderQueue) remove(n *event) {
+	// Lazy: flag the node off-queue; its entry dies by the stale test.
+	n.index = -1
+	q.nlive--
+}
+
+func (q *ladderQueue) insert(e lent) {
+	if !q.spread || e.at >= q.topStart {
+		if len(q.top) == 0 || e.at > q.topMax {
+			q.topMax = e.at
+		}
+		q.top = append(q.top, e)
+		return
+	}
+	for _, r := range q.rungs {
+		b := int(math.Floor((e.at - r.base) / r.width))
+		if b >= len(r.buckets) {
+			b = len(r.buckets) - 1
+		}
+		if b >= r.cur {
+			q.bucketAppend(r, b, e)
+			r.remaining++
+			return
+		}
+		// The event precedes this rung's unconsumed region; it belongs
+		// to a finer rung below or directly in bottom.
+	}
+	q.insertBottom(e)
+}
+
+// insertBottom sort-inserts into the unconsumed tail of bottom.
+func (q *ladderQueue) insertBottom(e lent) {
+	q.bottom = append(q.bottom, lent{})
+	i := len(q.bottom) - 1
+	for i > q.bot0 && lentBefore(e, q.bottom[i-1]) {
+		q.bottom[i] = q.bottom[i-1]
+		i--
+	}
+	q.bottom[i] = e
+}
+
+func (q *ladderQueue) pop() *event {
+	for {
+		for q.bot0 < len(q.bottom) {
+			e := q.bottom[q.bot0]
+			q.bottom[q.bot0] = lent{}
+			q.bot0++
+			if stale(e) {
+				continue
+			}
+			e.n.index = -1
+			q.nlive--
+			return e.n
+		}
+		q.putBucket(q.bottom)
+		q.bottom, q.bot0 = nil, 0
+		if !q.refill() {
+			return nil
+		}
+	}
+}
+
+// refill loads the next non-empty bucket into bottom: from the finest
+// rung first, then by spreading top. Returns false when the queue is
+// truly empty.
+func (q *ladderQueue) refill() bool {
+	for len(q.rungs) > 0 {
+		r := q.rungs[len(q.rungs)-1]
+		if r.remaining == 0 {
+			q.putRung(r)
+			q.rungs = q.rungs[:len(q.rungs)-1]
+			continue
+		}
+		for len(r.buckets[r.cur]) == 0 {
+			r.cur++
+		}
+		b := r.buckets[r.cur]
+		r.buckets[r.cur] = nil
+		r.cur++
+		r.remaining -= len(b)
+		live := compactLive(b)
+		if len(live) == 0 {
+			q.putBucket(b)
+			continue
+		}
+		if len(live) > ladderSortMax && len(q.rungs) < ladderMaxRungs && q.spawnRung(live) {
+			q.putBucket(b)
+			continue
+		}
+		slices.SortFunc(live, cmpLent)
+		q.bottom, q.bot0 = live, 0
+		return true
+	}
+	if len(q.top) == 0 {
+		return false
+	}
+	live := compactLive(q.top)
+	q.topStart = q.topMax
+	q.spread = true
+	if len(live) == 0 {
+		q.top = q.top[:0]
+		return false
+	}
+	if len(live) > ladderSortMax && q.spawnRung(live) {
+		q.top = q.top[:0]
+		return true // recurse via the rung path next iteration
+	}
+	slices.SortFunc(live, cmpLent)
+	q.bottom, q.bot0 = live, 0
+	q.top = nil // bottom adopted top's backing array
+	return true
+}
+
+// spawnRung spreads entries into a fresh finer rung. It returns false
+// when the entries' time span is degenerate (all-equal at, or a width
+// that underflows to zero) — the caller must sort instead.
+func (q *ladderQueue) spawnRung(entries []lent) bool {
+	minAt, maxAt := entries[0].at, entries[0].at
+	for _, e := range entries[1:] {
+		if e.at < minAt {
+			minAt = e.at
+		}
+		if e.at > maxAt {
+			maxAt = e.at
+		}
+	}
+	nb := len(entries)
+	if nb > ladderMaxBuckets {
+		nb = ladderMaxBuckets
+	}
+	width := (maxAt - minAt) / float64(nb)
+	if width <= 0 || math.IsInf(width, 0) {
+		return false
+	}
+	r := q.getRung(nb)
+	r.base, r.width = minAt, width
+	for _, e := range entries {
+		b := int(math.Floor((e.at - r.base) / r.width))
+		if b >= nb {
+			b = nb - 1
+		}
+		q.bucketAppend(r, b, e)
+	}
+	r.remaining = len(entries)
+	q.rungs = append(q.rungs, r)
+	return true
+}
+
+// compactLive filters stale entries in place and returns the live prefix.
+func compactLive(b []lent) []lent {
+	k := 0
+	for _, e := range b {
+		if !stale(e) {
+			b[k] = e
+			k++
+		}
+	}
+	clear(b[k:])
+	return b[:k]
+}
+
+func (q *ladderQueue) bucketAppend(r *rung, b int, e lent) {
+	if r.buckets[b] == nil {
+		if k := len(q.freeBuckets); k > 0 {
+			r.buckets[b] = q.freeBuckets[k-1]
+			q.freeBuckets = q.freeBuckets[:k-1]
+		}
+	}
+	r.buckets[b] = append(r.buckets[b], e)
+}
+
+// putBucket recycles a consumed bucket's backing array. Oversized or
+// undersized arrays are dropped: the freelist exists for the steady
+// churn of small per-bucket slices.
+func (q *ladderQueue) putBucket(b []lent) {
+	if b == nil || cap(b) == 0 || cap(b) > 4*ladderSortMax || len(q.freeBuckets) >= 256 {
+		return
+	}
+	clear(b[:cap(b)])
+	q.freeBuckets = append(q.freeBuckets, b[:0])
+}
+
+func (q *ladderQueue) getRung(nb int) *rung {
+	var r *rung
+	if k := len(q.freeRungs); k > 0 {
+		r = q.freeRungs[k-1]
+		q.freeRungs = q.freeRungs[:k-1]
+	} else {
+		r = &rung{}
+	}
+	if cap(r.buckets) < nb {
+		r.buckets = make([][]lent, nb)
+	}
+	r.buckets = r.buckets[:nb]
+	r.cur = 0
+	return r
+}
+
+func (q *ladderQueue) putRung(r *rung) {
+	for i := range r.buckets {
+		q.putBucket(r.buckets[i])
+		r.buckets[i] = nil
+	}
+	if len(q.freeRungs) < ladderMaxRungs {
+		q.freeRungs = append(q.freeRungs, r)
+	}
+}

@@ -195,7 +195,23 @@ func (p *Proc) unpark() {
 // Wait advances the process by d seconds of virtual time. d must be
 // non-negative; zero is allowed and yields to other events scheduled at the
 // same instant.
+//
+// Fast path: when the resume would fire strictly before every pending
+// event, no other event can run during the wait — parking would bounce
+// control to the dispatch loop only for it to switch straight back — so
+// the clock advances in place, skipping the schedule/park/pop/resume
+// cycle (two coroutine switches and a heap push+pop). The strictness
+// matters: a pending event at exactly the resume instant holds a smaller
+// seq and must run first, so ties take the slow path. Heap regime only;
+// the ladder queue has no cheap peek.
 func (p *Proc) Wait(d float64) {
-	p.eng.schedNode(&p.ev, d)
+	e := p.eng
+	if e.lq == nil && d >= 0 && e.ringLive == 0 {
+		if t := e.now + d; len(e.hq.h) == 0 || t < e.hq.h[0].at {
+			e.now = t
+			return
+		}
+	}
+	e.schedNode(&p.ev, d)
 	p.suspend()
 }

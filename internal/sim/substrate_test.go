@@ -331,3 +331,100 @@ func TestPoolChurnDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestZeroDelayRingOrder pins the zero-delay ring's ordering contract
+// against the heap: events at the same instant fire in seq (schedule)
+// order regardless of which structure holds them. The critical case is a
+// heap event sharing its instant with earlier-pushed ring entries — the
+// heap root's smaller seq must win the tie.
+func TestZeroDelayRingOrder(t *testing.T) {
+	e := New()
+	var got []string
+	log := func(s string) func() { return func() { got = append(got, s) } }
+
+	e.Schedule(5, func() {
+		got = append(got, "H1")
+		// Scheduled at t=5 while H2 (also at 5, smaller seq) is still
+		// pending on the heap: H2 must fire before these ring entries.
+		e.Schedule(0, log("X"))
+		e.Schedule(0, log("Y"))
+	})
+	e.Schedule(5, log("H2"))
+	e.Schedule(0, log("A")) // ring at t=0
+	e.Schedule(0, log("B"))
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"A", "B", "H1", "H2", "X", "Y"}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+// TestZeroDelayRingCancelReschedule pins handle semantics for
+// ring-resident events: Cancel suppresses the fire and corrects Pending,
+// Reschedule moves the event out of (or back into) the ring with a fresh
+// seq, and the stale ring entries left behind are skipped silently.
+func TestZeroDelayRingCancelReschedule(t *testing.T) {
+	e := New()
+	var got []string
+	log := func(s string) func() { return func() { got = append(got, s) } }
+
+	z := e.Schedule(0, log("Z"))
+	if !z.Scheduled() {
+		t.Fatal("ring event reports not scheduled")
+	}
+	if p := e.Pending(); p != 1 {
+		t.Fatalf("Pending = %d, want 1", p)
+	}
+	z.Cancel()
+	if z.Scheduled() || !z.Canceled() {
+		t.Fatal("cancelled ring event still reports scheduled")
+	}
+	if p := e.Pending(); p != 0 {
+		t.Fatalf("Pending after Cancel = %d, want 0", p)
+	}
+
+	// R starts on the ring at t=0, is rescheduled to t=2 (ring → heap),
+	// and must fire after the t=1 heap event despite its earlier seq.
+	r := e.Schedule(0, log("R"))
+	e.Schedule(1, log("M"))
+	e.Reschedule(r, 2)
+	if !r.Scheduled() {
+		t.Fatal("rescheduled ring event reports not scheduled")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"M", "R"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+}
+
+// TestZeroDelayRingRescheduleToNow covers the ring-to-ring reschedule: a
+// ring-resident event rescheduled with delay 0 stays at the current
+// instant but takes a fresh seq, so it fires after zero-delay events
+// scheduled in between.
+func TestZeroDelayRingRescheduleToNow(t *testing.T) {
+	e := New()
+	var got []string
+	log := func(s string) func() { return func() { got = append(got, s) } }
+
+	r := e.Schedule(0, log("R"))
+	e.Schedule(0, log("A"))
+	e.Reschedule(r, 0) // R's seq now follows A's
+	e.Schedule(0, log("B"))
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"A", "R", "B"}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+}

@@ -2,15 +2,34 @@
 # Run the DES-substrate micro-benchmarks and append a labelled snapshot to
 # BENCH_substrate.json. Run from the repository root:
 #
-#     scripts/bench.sh <label> [count]
+#     scripts/bench.sh -label <label> [-count N] [-bench <regexp>]
 #
-# <label> names the snapshot (e.g. "pre-refactor", "after-pooling");
-# [count] is the go test -count repetition (default 5; results are averaged).
+# -label names the snapshot (e.g. "pre-refactor", "after-pooling") and is
+# required; -count is the go test -count repetition (default 5; results are
+# averaged); -bench overrides the benchmark selection regexp. Flags go
+# straight through to benchsnap/go test, so snapshots are never hand-edited.
 set -eu
 
-label=${1:?usage: scripts/bench.sh <label> [count]}
-count=${2:-5}
+label=
+count=5
+bench='Sim(Engine|Handoff|LinkChurn|ServerContention|Workflow|WorkflowLarge|WorkflowHuge)$|^Benchmark(DAGBuild|LocalityPlace|EventQueue)$'
 
-go test -run '^$' -bench 'Sim(Engine|Handoff|LinkChurn|ServerContention|Workflow|WorkflowLarge)$|^Benchmark(DAGBuild|LocalityPlace)$' \
-    -benchmem -count "$count" . |
+usage() {
+    echo "usage: scripts/bench.sh -label <label> [-count N] [-bench <regexp>]" >&2
+    exit 2
+}
+
+while [ $# -gt 0 ]; do
+    case $1 in
+    -label) [ $# -ge 2 ] || usage; label=$2; shift 2 ;;
+    -count) [ $# -ge 2 ] || usage; count=$2; shift 2 ;;
+    -bench) [ $# -ge 2 ] || usage; bench=$2; shift 2 ;;
+    *) usage ;;
+    esac
+done
+[ -n "$label" ] || usage
+
+# BenchmarkEventQueue (the data behind the engine's adaptive ladder
+# threshold) lives in internal/sim; everything else is in the root package.
+go test -run '^$' -bench "$bench" -benchmem -count "$count" . ./internal/sim |
     go run scripts/benchsnap.go -label "$label"

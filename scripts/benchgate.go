@@ -1,0 +1,160 @@
+//go:build ignore
+
+// benchgate parses `go test -bench` output on stdin and fails (exit 1) if
+// any gated benchmark regressed past its budget relative to the latest
+// snapshot in the benchmark-tracking file that records it. Usage:
+//
+//	go test -run '^$' -bench 'SimWorkflow(Large)?$' -benchmem -count 2 . |
+//	    go run scripts/benchgate.go -gate SimWorkflow,SimWorkflowLarge
+//
+// The budgets are asymmetric on purpose: ns/op gets 25% headroom because
+// shared CI runners time noisily, while allocs/op gets only 10% — counting
+// is exact, so any growth there is a real hot-path change, not noise.
+// Improvements never fail the gate; record them with scripts/bench.sh so
+// the next gate measures against the new level.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type bench struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	runs        int
+}
+
+type snapshot struct {
+	Label      string            `json:"label"`
+	Date       string            `json:"date"`
+	Go         string            `json:"go"`
+	Benchmarks map[string]*bench `json:"benchmarks"`
+}
+
+type file struct {
+	Snapshots []*snapshot `json:"snapshots"`
+}
+
+func main() {
+	in := flag.String("file", "BENCH_substrate.json", "tracking file holding the baseline snapshots")
+	gate := flag.String("gate", "SimWorkflow,SimWorkflowLarge", "comma-separated benchmarks to gate")
+	nsBudget := flag.Float64("ns-budget", 0.25, "allowed fractional ns/op regression")
+	allocBudget := flag.Float64("alloc-budget", 0.10, "allowed fractional allocs/op regression")
+	flag.Parse()
+
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	var all file
+	if err := json.Unmarshal(data, &all); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %s is not valid JSON: %v\n", *in, err)
+		os.Exit(1)
+	}
+
+	// Baseline for each gated benchmark: the most recent snapshot that
+	// records it (not every snapshot runs every benchmark).
+	base := map[string]*bench{}
+	baseLabel := map[string]string{}
+	for _, name := range strings.Split(*gate, ",") {
+		for i := len(all.Snapshots) - 1; i >= 0; i-- {
+			if b, ok := all.Snapshots[i].Benchmarks[name]; ok {
+				base[name] = b
+				baseLabel[name] = all.Snapshots[i].Label
+				break
+			}
+		}
+		if base[name] == nil {
+			fmt.Fprintf(os.Stderr, "benchgate: no snapshot in %s records %q\n", *in, name)
+			os.Exit(1)
+		}
+	}
+
+	got := map[string]*bench{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the run stays visible
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		// BenchmarkName-8  N  ns/op  [B/op]  [allocs/op]
+		if len(f) < 4 || f[3] != "ns/op" {
+			continue
+		}
+		name := strings.TrimPrefix(f[0], "Benchmark")
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+		if base[name] == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			continue
+		}
+		b := got[name]
+		if b == nil {
+			b = &bench{}
+			got[name] = b
+		}
+		b.runs++
+		b.NsPerOp += (ns - b.NsPerOp) / float64(b.runs)
+		for i := 4; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "B/op":
+				b.BytesPerOp += (v - b.BytesPerOp) / float64(b.runs)
+			case "allocs/op":
+				b.AllocsPerOp += (v - b.AllocsPerOp) / float64(b.runs)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+
+	failed := false
+	for name, want := range base {
+		have := got[name]
+		if have == nil {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: gated benchmark missing from input\n", name)
+			failed = true
+			continue
+		}
+		nsLimit := want.NsPerOp * (1 + *nsBudget)
+		if have.NsPerOp > nsLimit {
+			fmt.Fprintf(os.Stderr,
+				"benchgate: FAIL %s: %.0f ns/op exceeds %.0f (baseline %q: %.0f, budget +%d%%)\n",
+				name, have.NsPerOp, nsLimit, baseLabel[name], want.NsPerOp, int(*nsBudget*100))
+			failed = true
+		}
+		allocLimit := want.AllocsPerOp * (1 + *allocBudget)
+		if want.AllocsPerOp > 0 && have.AllocsPerOp > allocLimit {
+			fmt.Fprintf(os.Stderr,
+				"benchgate: FAIL %s: %.1f allocs/op exceeds %.1f (baseline %q: %.1f, budget +%d%%)\n",
+				name, have.AllocsPerOp, allocLimit, baseLabel[name], want.AllocsPerOp, int(*allocBudget*100))
+			failed = true
+		}
+		if have.NsPerOp <= nsLimit && (want.AllocsPerOp == 0 || have.AllocsPerOp <= allocLimit) {
+			fmt.Fprintf(os.Stderr, "benchgate: ok %s: %.0f ns/op, %.1f allocs/op (baseline %q)\n",
+				name, have.NsPerOp, have.AllocsPerOp, baseLabel[name])
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

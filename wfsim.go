@@ -35,11 +35,13 @@ import (
 	"wfsim/internal/dsarray"
 	"wfsim/internal/experiments"
 	"wfsim/internal/faults"
+	"wfsim/internal/metrics"
 	"wfsim/internal/model"
 	"wfsim/internal/runner"
 	"wfsim/internal/runtime"
 	"wfsim/internal/sched"
 	"wfsim/internal/service"
+	"wfsim/internal/sim"
 	"wfsim/internal/storage"
 )
 
@@ -62,6 +64,16 @@ type (
 	// FaultStats summarizes injected failures and recovery cost
 	// (SimResult.Faults).
 	FaultStats = runtime.FaultStats
+	// Arena recycles a run's substrate allocations across trials
+	// (SimConfig.Arena); one run at a time per arena.
+	Arena = runtime.Arena
+	// MetricsSink consumes stage records as a run produces them
+	// (SimConfig.Sink); use Aggregates for O(1)-memory streaming runs.
+	MetricsSink = metrics.Sink
+	// Aggregates is a streaming MetricsSink that folds records into the
+	// paper's aggregate metrics on the fly, bit-for-bit equal to querying
+	// a retained-records collector.
+	Aggregates = metrics.Aggregates
 	// LocalConfig controls real execution.
 	LocalConfig = runtime.LocalConfig
 	// LocalResult carries real-execution results.
@@ -118,8 +130,24 @@ const (
 	RandomPlacement = sched.Random
 )
 
+// QueueKind selects the engine's pending-event queue implementation.
+type QueueKind = sim.QueueKind
+
+// Event-queue selection (SimConfig.EventQueue). QueueAuto — the zero
+// value — starts on the heap and migrates to the ladder queue when the
+// pending-event population crosses the engine's threshold; the choice
+// never changes a run's trace, only its speed at scale.
+const (
+	QueueAuto   = sim.QueueAuto
+	QueueHeap   = sim.QueueHeap
+	QueueLadder = sim.QueueLadder
+)
+
 // NewWorkflow returns an empty workflow.
 func NewWorkflow(name string) *Workflow { return runtime.NewWorkflow(name) }
+
+// NewAggregates returns an empty streaming metrics aggregator.
+func NewAggregates() *Aggregates { return metrics.NewAggregates() }
 
 // RunSim executes the workflow on the simulated cluster.
 func RunSim(wf *Workflow, cfg SimConfig) (*SimResult, error) { return runtime.RunSim(wf, cfg) }

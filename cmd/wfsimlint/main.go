@@ -1,31 +1,49 @@
 // Command wfsimlint is wfsim's determinism multichecker: it applies the
-// internal/lint analyzers — maporder, walltime, seedrand, floatreduce —
-// to the module and exits non-zero on any finding. CI runs it as the
-// Lint step; locally:
+// internal/lint analyzers — floatreduce, hotalloc, maporder, seedrand,
+// simblock, walltime — to the module and exits non-zero on any finding
+// not absorbed by the committed baseline. CI runs it as the Lint step;
+// locally:
 //
 //	go run ./cmd/wfsimlint ./...            # whole module
 //	go run ./cmd/wfsimlint ./internal/sim   # one package
-//	go run ./cmd/wfsimlint -tests=false ./...
+//	go run ./cmd/wfsimlint -json ./...      # machine-readable findings
+//	go run ./cmd/wfsimlint -write-baseline  # accept current findings as debt
 //	go run ./cmd/wfsimlint -help            # rule documentation
 //
-// Findings print as file:line:col: rule: message. See DESIGN.md
-// ("Determinism invariants") for each rule's rationale and the
-// //wfsimlint:allow escape hatch.
+// Findings print as file:line:col: rule: message; baseline-absorbed
+// findings are suffixed "(baselined)" and do not fail the run. See
+// DESIGN.md ("Determinism invariants") for each rule's rationale, the
+// //wfsimlint:allow escape hatch, and the baseline workflow.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"wfsim/internal/lint"
 	"wfsim/internal/lint/analysis"
 )
 
+// jsonDiag is the -json output shape, one object per finding.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Rule       string `json:"rule"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func main() {
 	tests := flag.Bool("tests", true, "also lint _test.go files (walltime and seedrand always skip them)")
 	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	baseline := flag.String("baseline", "", "suppression baseline file (default: <modroot>/"+lint.BaselineFile+")")
+	writeBaseline := flag.Bool("write-baseline", false, "write current findings to the baseline file and exit")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -59,22 +77,103 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wfsimlint:", err)
 		os.Exit(2)
 	}
-	diags, err := lint.Run(cwd, active, *tests, patterns)
+
+	if *writeBaseline {
+		// Findings are collected baseline-free over the whole module so
+		// the written file is complete, not relative to prior debt.
+		res, err := lint.RunModule(cwd, active, *tests, nil, "")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wfsimlint:", err)
+			os.Exit(2)
+		}
+		path := *baseline
+		if path == "" {
+			path = filepath.Join(res.ModRoot, lint.BaselineFile)
+		}
+		if err := os.WriteFile(path, []byte(lint.FormatBaseline(res.ModRoot, res.Diagnostics)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "wfsimlint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "wfsimlint: wrote %d finding(s) to %s\n", len(res.Diagnostics), path)
+		return
+	}
+
+	res, err := lint.RunModule(cwd, active, *tests, patterns, resolveBaseline(cwd, *baseline))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wfsimlint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *jsonOut {
+		out := []jsonDiag{} // encode [] rather than null when clean
+		for _, d := range res.Diagnostics {
+			out = append(out, jsonDiag{
+				File:       relTo(res.ModRoot, d.Position.Filename),
+				Line:       d.Position.Line,
+				Column:     d.Position.Column,
+				Rule:       d.Rule,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "wfsimlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Println(d)
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "wfsimlint: %d finding(s)\n", len(diags))
+	// Stale entries are only meaningful on a whole-module, all-rules run:
+	// a narrowed run legitimately leaves entries for unvisited packages
+	// unmatched, and a -rules subset leaves every other rule's entries
+	// unmatched.
+	if *rules == "" && len(patterns) == 1 && patterns[0] == "./..." {
+		for _, s := range res.Stale {
+			fmt.Fprintf(os.Stderr, "wfsimlint: stale baseline entry (no longer found): %s\n", s)
+		}
+	}
+	if n := res.Failing(); n > 0 {
+		fmt.Fprintf(os.Stderr, "wfsimlint: %d finding(s)\n", n)
 		os.Exit(1)
 	}
 }
 
+// resolveBaseline picks the baseline path: the explicit flag, or the
+// conventional file at the module root of cwd's module (found by walking
+// up to go.mod). Missing files load as empty baselines, so defaulting is
+// always safe.
+func resolveBaseline(cwd, flagValue string) string {
+	if flagValue != "" {
+		return flagValue
+	}
+	dir := cwd
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return filepath.Join(dir, lint.BaselineFile)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return filepath.Join(cwd, lint.BaselineFile)
+		}
+		dir = parent
+	}
+}
+
+// relTo renders path relative to root when possible, slash-separated, for
+// stable JSON output across machines.
+func relTo(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return path
+}
+
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: wfsimlint [-tests=bool] [-rules r1,r2] [./... | ./pkg/path ...]\n\nrules:\n")
+	fmt.Fprintf(os.Stderr, "usage: wfsimlint [-tests=bool] [-rules r1,r2] [-json] [-baseline file] [-write-baseline] [./... | ./pkg/path ...]\n\nrules:\n")
 	for _, az := range lint.Analyzers {
 		fmt.Fprintf(os.Stderr, "  %-12s %s\n", az.Name, az.Doc)
 	}

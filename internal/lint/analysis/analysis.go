@@ -35,6 +35,9 @@ import (
 )
 
 // An Analyzer describes one lint rule: a named, documented static check.
+// A rule may be package-scoped (Run), module-scoped (RunModule), or both:
+// the package half sees one type-checked package at a time, the module
+// half sees every package at once plus the interprocedural call graph.
 type Analyzer struct {
 	// Name identifies the rule; it is what //wfsimlint:allow matches
 	// against and what diagnostics are prefixed with.
@@ -42,8 +45,12 @@ type Analyzer struct {
 	// Doc is the human-oriented description printed by `wfsimlint help`.
 	Doc string
 	// Run applies the rule to one package and reports findings via
-	// pass.Reportf.
+	// pass.Reportf. Nil for module-only analyzers.
 	Run func(*Pass) error
+	// RunModule applies the rule to the whole module at once — every
+	// loaded package plus the call graph — and reports findings via
+	// pass.Reportf. Nil for package-only analyzers.
+	RunModule func(*ModulePass) error
 }
 
 // A Diagnostic is one finding, already resolved to a concrete position
@@ -55,12 +62,21 @@ type Diagnostic struct {
 	Rule string
 	// Message describes the finding and the expected fix.
 	Message string
+	// Suppressed marks a finding matched by an entry in the committed
+	// suppression baseline (lint.baseline): still reported, but not
+	// fatal. //wfsimlint:allow annotations, by contrast, drop findings
+	// entirely before they reach this struct.
+	Suppressed bool
 }
 
 // String renders the diagnostic in the conventional file:line:col form
 // that editors and CI log scrapers understand.
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s: %s: %s", d.Position, d.Rule, d.Message)
+	suffix := ""
+	if d.Suppressed {
+		suffix = " (baselined)"
+	}
+	return fmt.Sprintf("%s: %s: %s%s", d.Position, d.Rule, d.Message, suffix)
 }
 
 // A Pass holds one (analyzer, package) unit of work: the type-checked
@@ -104,6 +120,13 @@ func NewPass(az *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Pa
 		allow:     make(map[string]map[int][]string),
 		seen:      make(map[Diagnostic]bool),
 	}
+	indexAllows(p.allow, fset, files)
+	return p
+}
+
+// indexAllows records every //wfsimlint:allow comment in files into the
+// filename → line → rules map shared by Pass and ModulePass.
+func indexAllows(allow map[string]map[int][]string, fset *token.FileSet, files []*ast.File) {
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -112,16 +135,15 @@ func NewPass(az *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Pa
 					continue
 				}
 				pos := fset.Position(c.Slash)
-				lines := p.allow[pos.Filename]
+				lines := allow[pos.Filename]
 				if lines == nil {
 					lines = make(map[int][]string)
-					p.allow[pos.Filename] = lines
+					allow[pos.Filename] = lines
 				}
 				lines[pos.Line] = append(lines[pos.Line], rules...)
 			}
 		}
 	}
-	return p
 }
 
 // parseAllow recognizes "//wfsimlint:allow rule1,rule2" (comma- or
@@ -204,9 +226,11 @@ func FileHasAnnotation(f *ast.File, name string) bool {
 	return false
 }
 
-// SortDiagnostics orders findings by file, line, column, then rule, so
-// multichecker output is deterministic regardless of analyzer or package
-// scheduling.
+// SortDiagnostics orders findings by file, line, column, rule, then
+// message, so multichecker output is a single deterministic global order
+// regardless of analyzer or package scheduling — two analyzers (or one
+// analyzer's package and module halves) reporting at the same position
+// still land in a fixed order.
 func SortDiagnostics(ds []Diagnostic) {
 	sort.Slice(ds, func(i, j int) bool {
 		a, b := ds[i], ds[j]
@@ -219,6 +243,9 @@ func SortDiagnostics(ds []Diagnostic) {
 		if a.Position.Column != b.Position.Column {
 			return a.Position.Column < b.Position.Column
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
 }

@@ -96,6 +96,66 @@ func TestFileHasAnnotation(t *testing.T) {
 	}
 }
 
+// TestSortDiagnostics is the regression test for the global diagnostic
+// order: file, then line, then column, then rule, then message —
+// position ties between analyzers (or between one analyzer's package
+// and module halves) must land in a fixed order no matter the order the
+// findings were produced in.
+func TestSortDiagnostics(t *testing.T) {
+	mk := func(file string, line, col int, rule, msg string) Diagnostic {
+		return Diagnostic{
+			Position: token.Position{Filename: file, Line: line, Column: col},
+			Rule:     rule,
+			Message:  msg,
+		}
+	}
+	want := []Diagnostic{
+		mk("a.go", 1, 1, "hotalloc", "x"),
+		mk("a.go", 1, 1, "walltime", "a"),
+		mk("a.go", 1, 1, "walltime", "b"),
+		mk("a.go", 1, 2, "maporder", "x"),
+		mk("a.go", 2, 1, "floatreduce", "x"),
+		mk("b.go", 1, 1, "seedrand", "x"),
+	}
+	// Feed in reversed and rotated orders; both must sort identically.
+	for _, perm := range [][]int{{5, 4, 3, 2, 1, 0}, {2, 0, 5, 1, 4, 3}} {
+		ds := make([]Diagnostic, len(want))
+		for i, j := range perm {
+			ds[i] = want[j]
+		}
+		SortDiagnostics(ds)
+		for i := range want {
+			if ds[i] != want[i] {
+				t.Fatalf("perm %v: position %d = %v, want %v", perm, i, ds[i], want[i])
+			}
+		}
+	}
+}
+
+// TestModulePassSuppression checks that the module-scoped Reportf honors
+// //wfsimlint:allow the same way the package-scoped one does.
+func TestModulePassSuppression(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressionSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	az := &Analyzer{Name: "demo"}
+	pkg := &ModulePackage{Path: "p", Files: []*ast.File{f}}
+	pass := NewModulePass(az, fset, []*ModulePackage{pkg}, &Graph{})
+
+	stmts := f.Decls[0].(*ast.FuncDecl).Body.List
+	for i, s := range stmts {
+		pass.Reportf(s.Pos(), "finding %d", i)
+	}
+	if len(pass.Diagnostics) != 2 {
+		t.Fatalf("got %d diagnostics %v, want 2", len(pass.Diagnostics), pass.Diagnostics)
+	}
+	if pass.Diagnostics[0].Message != "finding 2" || pass.Diagnostics[1].Message != "finding 3" {
+		t.Errorf("wrong findings survived: %v", pass.Diagnostics)
+	}
+}
+
 func TestReportfDedupes(t *testing.T) {
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "p.go", "package p\nvar x int\n", parser.ParseComments)

@@ -28,9 +28,12 @@ import (
 	"wfsim/internal/lint/load"
 )
 
-// Run loads testdata/src/<fixture> for each fixture as a single package,
-// applies the analyzer, and reports any mismatch between produced
-// diagnostics and // want expectations as test errors.
+// Run loads testdata/src/<fixture> for each fixture as a single package
+// and applies the analyzer — both halves: the package-scoped Run, and
+// RunModule with the fixture standing in as a one-package module — then
+// reports any mismatch between produced diagnostics and // want
+// expectations as test errors. Analyzers whose rules span packages are
+// exercised with RunModule instead.
 func Run(t *testing.T, testdata string, az *analysis.Analyzer, fixtures ...string) {
 	t.Helper()
 	loader := load.NewFixture()
@@ -41,13 +44,78 @@ func Run(t *testing.T, testdata string, az *analysis.Analyzer, fixtures ...strin
 			t.Errorf("%s: %v", fixture, err)
 			continue
 		}
-		pass := analysis.NewPass(az, loader.Fset, pkg.Files, pkg.Types, pkg.Info, pkg.Path)
-		if err := az.Run(pass); err != nil {
-			t.Errorf("%s: analyzer %s: %v", fixture, az.Name, err)
-			continue
+		var diags []analysis.Diagnostic
+		if az.Run != nil {
+			pass := analysis.NewPass(az, loader.Fset, pkg.Files, pkg.Types, pkg.Info, pkg.Path)
+			if err := az.Run(pass); err != nil {
+				t.Errorf("%s: analyzer %s: %v", fixture, az.Name, err)
+				continue
+			}
+			diags = append(diags, pass.Diagnostics...)
 		}
-		check(t, fixture, loader.Fset, pkg, pass.Diagnostics)
+		if az.RunModule != nil {
+			mdiags, err := runModuleHalf(loader, az, []*load.Package{pkg})
+			if err != nil {
+				t.Errorf("%s: analyzer %s: %v", fixture, az.Name, err)
+				continue
+			}
+			diags = append(diags, mdiags...)
+		}
+		analysis.SortDiagnostics(diags)
+		check(t, fixture, loader.Fset, pkg, diags)
 	}
+}
+
+// RunModule loads every fixture (in order, so dependencies come before
+// their importers and cross-fixture imports resolve) into one module,
+// applies the analyzer's module half once over all of them, and checks
+// each fixture's // want expectations against the diagnostics landing in
+// its files. This is how the interprocedural rules' cross-package flows
+// — a wall-clock value laundered through a helper chain, a seed routed
+// through another package — are exercised.
+func RunModule(t *testing.T, testdata string, az *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	loader := load.NewFixture()
+	var pkgs []*load.Package
+	for _, fixture := range fixtures {
+		dir := filepath.Join(testdata, "src", fixture)
+		pkg, err := loader.LoadFixture(dir, fixture)
+		if err != nil {
+			t.Fatalf("%s: %v", fixture, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := runModuleHalf(loader, az, pkgs)
+	if err != nil {
+		t.Fatalf("analyzer %s: %v", az.Name, err)
+	}
+	analysis.SortDiagnostics(diags)
+	for i, pkg := range pkgs {
+		var own []analysis.Diagnostic
+		for _, d := range diags {
+			if filepath.Dir(d.Position.Filename) == pkg.Dir {
+				own = append(own, d)
+			}
+		}
+		check(t, fixtures[i], loader.Fset, pkg, own)
+	}
+}
+
+// runModuleHalf builds the call graph over pkgs and applies az.RunModule.
+func runModuleHalf(loader *load.Loader, az *analysis.Analyzer, pkgs []*load.Package) ([]analysis.Diagnostic, error) {
+	var mpkgs []*analysis.ModulePackage
+	for _, pkg := range pkgs {
+		mpkgs = append(mpkgs, &analysis.ModulePackage{
+			Path: pkg.Path, Dir: pkg.Dir, Files: pkg.Files,
+			Types: pkg.Types, Info: pkg.Info,
+		})
+	}
+	graph := analysis.BuildGraph(loader.Fset, mpkgs)
+	pass := analysis.NewModulePass(az, loader.Fset, mpkgs, graph)
+	if err := az.RunModule(pass); err != nil {
+		return nil, err
+	}
+	return pass.Diagnostics, nil
 }
 
 // key locates a source line.

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"wfsim/internal/lint/analysis"
+)
+
+// The suppression baseline is the committed debt ledger for the lint
+// suite: findings the team has looked at and decided to carry rather
+// than fix right now. Baselined findings still print (suffixed
+// "(baselined)") so the debt stays visible, but they do not fail the
+// build — new findings do. The file lives at <modroot>/lint.baseline and
+// is regenerated with `wfsimlint -write-baseline`.
+//
+// Entries are matched by (file, rule, message) — deliberately not by
+// line, so unrelated edits that shift code do not churn the baseline.
+// Matching is a multiset: an entry listed twice absorbs two identical
+// findings; a third still fails. Entries that no finding matched are
+// reported as stale so the ledger shrinks as debt is paid.
+
+// BaselineFile is the conventional baseline filename at the module root.
+const BaselineFile = "lint.baseline"
+
+// A Baseline is a parsed suppression list.
+type Baseline struct {
+	// entries counts remaining (unconsumed) occurrences per key.
+	entries map[string]int
+}
+
+// LoadBaseline reads the baseline at path. A missing file is an empty
+// baseline, not an error.
+func LoadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{entries: make(map[string]int)}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return b, nil
+		}
+		return nil, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		b.entries[line]++
+	}
+	return b, nil
+}
+
+// baselineKey renders a diagnostic in the baseline's line format:
+// "relative/file.go: rule: message".
+func baselineKey(modroot string, d analysis.Diagnostic) string {
+	file := d.Position.Filename
+	if rel, err := filepath.Rel(modroot, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("%s: %s: %s", file, d.Rule, d.Message)
+}
+
+// Apply marks every diagnostic matched by a baseline entry as
+// Suppressed, consuming entries multiset-style, and returns the stale
+// entries no finding matched (sorted).
+func (b *Baseline) Apply(modroot string, diags []analysis.Diagnostic) (stale []string) {
+	for i := range diags {
+		key := baselineKey(modroot, diags[i])
+		if b.entries[key] > 0 {
+			b.entries[key]--
+			diags[i].Suppressed = true
+		}
+	}
+	for key, n := range b.entries {
+		for ; n > 0; n-- {
+			stale = append(stale, key)
+		}
+	}
+	sort.Strings(stale)
+	return stale
+}
+
+// FormatBaseline renders diags as baseline file content (header comment
+// plus one sorted entry line per finding). Suppressed findings are
+// included — regenerating the baseline keeps existing debt.
+func FormatBaseline(modroot string, diags []analysis.Diagnostic) string {
+	var lines []string
+	for _, d := range diags {
+		lines = append(lines, baselineKey(modroot, d))
+	}
+	sort.Strings(lines)
+	var sb strings.Builder
+	sb.WriteString("# wfsimlint suppression baseline: findings carried as known debt.\n")
+	sb.WriteString("# Entries match by (file, rule, message); regenerate with `wfsimlint -write-baseline`.\n")
+	sb.WriteString("# Baselined findings still print, suffixed \"(baselined)\", but do not fail the build.\n")
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

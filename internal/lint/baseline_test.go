@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wfsim/internal/lint/analysis"
+)
+
+func mkDiag(root, file string, line int, rule, msg string) analysis.Diagnostic {
+	return analysis.Diagnostic{
+		Position: token.Position{Filename: filepath.Join(root, file), Line: line, Column: 1},
+		Rule:     rule,
+		Message:  msg,
+	}
+}
+
+func TestBaselineApply(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, BaselineFile)
+	content := "# comment line\n" +
+		"\n" +
+		"a.go: hotalloc: append may grow\n" +
+		"a.go: hotalloc: append may grow\n" + // duplicate: absorbs two findings
+		"b.go: walltime: stale entry\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diags := []analysis.Diagnostic{
+		mkDiag(root, "a.go", 10, "hotalloc", "append may grow"),
+		mkDiag(root, "a.go", 20, "hotalloc", "append may grow"), // second hit on the doubled entry
+		mkDiag(root, "a.go", 30, "hotalloc", "append may grow"), // third: not absorbed
+		mkDiag(root, "a.go", 10, "maporder", "other rule"),      // same file, different rule
+	}
+	stale := base.Apply(root, diags)
+
+	wantSuppressed := []bool{true, true, false, false}
+	for i, want := range wantSuppressed {
+		if diags[i].Suppressed != want {
+			t.Errorf("diag %d (%s): Suppressed = %v, want %v", i, diags[i], diags[i].Suppressed, want)
+		}
+	}
+	if len(stale) != 1 || stale[0] != "b.go: walltime: stale entry" {
+		t.Errorf("stale = %v, want the one unmatched entry", stale)
+	}
+}
+
+// TestBaselineMissingFile checks that no baseline file means an empty
+// baseline, not an error — fresh checkouts and fresh modules lint fine.
+func TestBaselineMissingFile(t *testing.T) {
+	base, err := LoadBaseline(filepath.Join(t.TempDir(), "absent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := []analysis.Diagnostic{mkDiag("/r", "a.go", 1, "hotalloc", "m")}
+	if stale := base.Apply("/r", diags); len(stale) != 0 || diags[0].Suppressed {
+		t.Errorf("empty baseline must suppress nothing: stale=%v suppressed=%v", stale, diags[0].Suppressed)
+	}
+}
+
+// TestBaselineRoundTrip: formatting current findings and re-loading the
+// result must absorb exactly those findings with nothing stale.
+func TestBaselineRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	diags := []analysis.Diagnostic{
+		mkDiag(root, "x.go", 5, "hotalloc", "make allocates"),
+		mkDiag(root, "x.go", 9, "hotalloc", "make allocates"), // same key twice: multiset
+		mkDiag(root, "y.go", 2, "simblock", "channel send"),
+	}
+	path := filepath.Join(root, BaselineFile)
+	if err := os.WriteFile(path, []byte(FormatBaseline(root, diags)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := []analysis.Diagnostic{
+		mkDiag(root, "x.go", 6, "hotalloc", "make allocates"), // lines moved: still matched
+		mkDiag(root, "x.go", 11, "hotalloc", "make allocates"),
+		mkDiag(root, "y.go", 2, "simblock", "channel send"),
+	}
+	stale := base.Apply(root, fresh)
+	if len(stale) != 0 {
+		t.Errorf("round trip left stale entries: %v", stale)
+	}
+	for i, d := range fresh {
+		if !d.Suppressed {
+			t.Errorf("diag %d not suppressed after round trip: %s", i, d)
+		}
+	}
+}
+
+// TestSuppressionPrecedence pins the layering: //wfsimlint:allow drops a
+// finding before it exists, so a baseline entry for the same site goes
+// stale rather than double-absorbing; file-level //wfsimlint:wallclock
+// silences walltime without touching other rules; baseline entries only
+// downgrade findings to non-fatal.
+func TestSuppressionPrecedence(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, BaselineFile)
+	entries := "a.go: walltime: allowed at source\n" + // allow already dropped it → stale
+		"a.go: hotalloc: survives to baseline\n"
+	if err := os.WriteFile(path, []byte(entries), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The walltime finding never made it out of Reportf (annotation), so
+	// only the hotalloc one reaches baseline application.
+	diags := []analysis.Diagnostic{
+		mkDiag(root, "a.go", 3, "hotalloc", "survives to baseline"),
+	}
+	stale := base.Apply(root, diags)
+	if !diags[0].Suppressed {
+		t.Error("baselined finding not downgraded")
+	}
+	if len(stale) != 1 || stale[0] != "a.go: walltime: allowed at source" {
+		t.Errorf("allow-covered entry should be stale, got %v", stale)
+	}
+}
+
+// TestMatchesAny pins the go-tool-style pattern semantics: patterns
+// resolve against the invocation directory (base), not the module root,
+// so `wfsimlint .` from a subdirectory selects that package.
+func TestMatchesAny(t *testing.T) {
+	mod := filepath.Join("/", "mod")
+	dag := filepath.Join(mod, "internal", "dag")
+	cases := []struct {
+		base, dir string
+		patterns  []string
+		want      bool
+	}{
+		{mod, dag, nil, true},                         // no patterns: everything
+		{mod, dag, []string{"./..."}, true},           // whole tree
+		{mod, dag, []string{"./internal/..."}, true},  // subtree
+		{mod, dag, []string{"./internal/dag"}, true},  // exact
+		{mod, dag, []string{"./internal/sim"}, false}, // sibling
+		{mod, mod, []string{"./internal/..."}, false}, // root not under subtree
+		{dag, dag, []string{"."}, true},               // invoked from the package dir
+		{dag, dag, []string{"./..."}, true},           // subtree rooted at base
+		{dag, mod, []string{"./..."}, false},          // parent not under base
+		{filepath.Join(mod, "internal"), dag, []string{"./dag"}, true},
+	}
+	for _, c := range cases {
+		if got := matchesAny(c.base, c.dir, c.patterns); got != c.want {
+			t.Errorf("matchesAny(%q, %q, %v) = %v, want %v", c.base, c.dir, c.patterns, got, c.want)
+		}
+	}
+}

@@ -139,6 +139,12 @@ func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Pac
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
+	// Previously loaded fixture packages resolve from the cache, so a
+	// multi-package fixture (interprocedural analyzer tests) can import a
+	// sibling fixture loaded earlier under its fixture path.
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
 	if l.ModPath != "" && (path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/")) {
 		return l.importModule(path)
 	}
@@ -229,6 +235,9 @@ func (l *Loader) LoadFixture(dir, path string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Register so later fixtures (loaded with this same loader) can
+	// import this one by its fixture path.
+	l.cache[path] = pkg
 	return &Package{Path: path, Dir: dir, Files: files, Types: pkg, Info: info}, nil
 }
 

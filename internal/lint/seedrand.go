@@ -14,25 +14,31 @@ import (
 //   - calls to math/rand (or math/rand/v2) package-level functions —
 //     rand.IntN, rand.Float64, rand.Shuffle, ... — which draw from the
 //     process-global, OS-entropy-seeded generator and are different on
-//     every run;
+//     every run (the per-package half);
 //
 //   - rand.New / rand.NewSource / rand.NewPCG / rand.NewChaCha8 whose
-//     seed expression involves the host clock (time.Now), crypto/rand
-//     entropy, or the process identity (os.Getpid) — an explicitly
-//     constructed generator that is still unreproducible.
+//     seed derives — through any chain of assignments, struct fields,
+//     returns, and helper calls, across package boundaries — from the
+//     host clock (time.Now), crypto/rand entropy, or the process
+//     identity (os.Getpid). This is the module half, a taint analysis
+//     over the call graph: `rand.NewSource(cfg.Seed())` is flagged when
+//     `Seed` is a two-hop wrapper around time.Now().UnixNano(), and
+//     `newGen(seed)` is flagged at its call site when newGen feeds its
+//     parameter into a constructor and the argument is entropy-derived.
 //
 // Constructor calls seeded from ordinary values (config fields,
 // constants, derived counters) are the approved pattern and pass clean.
 // Test files are exempt; a deliberate exception can be annotated
 // //wfsimlint:allow seedrand.
 var SeedRand = &analysis.Analyzer{
-	Name: "seedrand",
-	Doc:  "forbids global math/rand state and wall-clock/entropy-seeded generators",
-	Run:  runSeedRand,
+	Name:      "seedrand",
+	Doc:       "forbids global math/rand state and wall-clock/entropy-seeded generators, tracking seed material through helper calls",
+	Run:       runSeedRand,
+	RunModule: runSeedRandModule,
 }
 
 // randCtors are the constructors of explicit generators — the approved
-// entry points (their seeds are checked separately).
+// entry points (their seeds are checked by the module half).
 var randCtors = map[string]bool{
 	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
 	"NewZipf": true,
@@ -49,27 +55,20 @@ func runSeedRand(pass *analysis.Pass) error {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.SelectorExpr:
-				path, ok := pkgPathOf(info, n.X)
-				if !ok || !isRandPath(path) {
-					return true
-				}
-				fn, ok := info.Uses[n.Sel].(*types.Func)
-				if !ok || fn.Type().(*types.Signature).Recv() != nil {
-					return true // types, constants, methods on *rand.Rand
-				}
-				if !randCtors[n.Sel.Name] {
-					pass.Reportf(n.Pos(), "rand.%s uses the process-global generator, which is seeded from OS entropy; thread an explicitly seeded *rand.Rand from config instead", n.Sel.Name)
-				}
-			case *ast.CallExpr:
-				path, name, ok := pkgFunc(info, n)
-				if !ok || !isRandPath(path) || !randCtors[name] {
-					return true
-				}
-				if culprit := nondeterministicSeed(info, n); culprit != "" {
-					pass.Reportf(n.Pos(), "rand.%s is seeded from %s, so the generator differs on every run; seeds must be constants or flow in from config", name, culprit)
-				}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, ok := pkgPathOf(info, sel.X)
+			if !ok || !isRandPath(path) {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Type().(*types.Signature).Recv() != nil {
+				return true // types, constants, methods on *rand.Rand
+			}
+			if !randCtors[sel.Sel.Name] {
+				pass.Reportf(n.Pos(), "rand.%s uses the process-global generator, which is seeded from OS entropy; thread an explicitly seeded *rand.Rand from config instead", sel.Sel.Name)
 			}
 			return true
 		})
@@ -77,36 +76,69 @@ func runSeedRand(pass *analysis.Pass) error {
 	return nil
 }
 
-// nondeterministicSeed scans a generator-constructor call's arguments for
-// run-varying seed material and names the first culprit found.
-func nondeterministicSeed(info *types.Info, call *ast.CallExpr) string {
-	culprit := ""
-	for _, arg := range call.Args {
-		ast.Inspect(arg, func(n ast.Node) bool {
-			if culprit != "" {
-				return false
-			}
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			path, ok := pkgPathOf(info, sel.X)
-			if !ok {
-				return true
-			}
-			switch {
-			case path == "time":
-				culprit = "the wall clock (time." + sel.Sel.Name + ")"
-			case path == "crypto/rand":
-				culprit = "crypto/rand entropy"
-			case path == "os" && sel.Sel.Name == "Getpid":
-				culprit = "the process ID (os.Getpid)"
-			}
-			return culprit == ""
-		})
-		if culprit != "" {
-			return culprit
+// entropySource classifies expressions producing run-varying seed
+// material: host-clock reads, crypto/rand entropy, the process ID.
+func entropySource(info *types.Info, n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		path, ok := pkgPathOf(info, sel.X)
+		if !ok {
+			return ""
+		}
+		switch {
+		// Unlike walltime's sources, durations count here: a seed built
+		// from a measured elapsed span varies run to run just as surely
+		// as one built from an instant.
+		case path == "time" && (wallValueFuncs[sel.Sel.Name] || sel.Sel.Name == "Since" || sel.Sel.Name == "Until"):
+			return "the wall clock (time." + sel.Sel.Name + ")"
+		case path == "os" && sel.Sel.Name == "Getpid":
+			return "the process ID (os.Getpid)"
+		case path == "crypto/rand":
+			return "crypto/rand entropy"
+		}
+	case *ast.SelectorExpr:
+		// rand.Reader and friends: any crypto/rand member is entropy.
+		if path, ok := pkgPathOf(info, n.X); ok && path == "crypto/rand" {
+			return "crypto/rand entropy"
 		}
 	}
 	return ""
+}
+
+// randCtorCall recognizes generator-constructor calls — the seed sinks.
+func randCtorCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !randCtors[sel.Sel.Name] {
+		return "", false
+	}
+	if path, ok := pkgPathOf(info, sel.X); ok && isRandPath(path) {
+		return "rand." + sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// runSeedRandModule is the interprocedural half: solve the entropy taint
+// over the module, then flag seed sinks fed by run-varying material in
+// non-test files.
+func runSeedRandModule(pass *analysis.ModulePass) error {
+	eng := newTaintEngine(pass.Graph, pass.Fset, taintHooks{
+		source:   entropySource,
+		seedCtor: randCtorCall,
+	})
+	eng.solve()
+	for _, n := range pass.Graph.Nodes {
+		if pass.IsTestFile(n.Pos()) {
+			continue
+		}
+		eng.report(n, reportHooks{
+			seedSink: func(call *ast.CallExpr, sinkName string, culprit string) {
+				pass.Reportf(call.Pos(), "%s is seeded from %s, so the generator differs on every run; seeds must be constants or flow in from config", sinkName, culprit)
+			},
+		})
+	}
+	return nil
 }

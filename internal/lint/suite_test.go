@@ -21,3 +21,28 @@ func TestSeedRand(t *testing.T) {
 func TestFloatReduce(t *testing.T) {
 	analysistest.Run(t, "testdata", FloatReduce, "floatreduce")
 }
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", HotAlloc, "hotalloc")
+}
+
+// TestSimBlock loads the substrate (Engine) fixture and the client
+// fixture as one module: process-body discovery crosses the package
+// boundary, and the substrate package itself must come back exempt.
+func TestSimBlock(t *testing.T) {
+	analysistest.RunModule(t, "testdata", SimBlock, "simblockeng", "simblock")
+}
+
+// TestWallTimeChain is the laundering acceptance case: a wall-clock
+// instant returned through a two-hop cross-package helper chain is
+// flagged at every consuming call site in virtual-time code.
+func TestWallTimeChain(t *testing.T) {
+	analysistest.RunModule(t, "testdata", WallTime, "chain/inner", "chain")
+}
+
+// TestSeedRandChain exercises entropy flowing into generator seeds
+// through helper returns, locals, parameters, and struct fields across
+// a package boundary.
+func TestSeedRandChain(t *testing.T) {
+	analysistest.RunModule(t, "testdata", SeedRand, "seedchain/seeds", "seedchain")
+}

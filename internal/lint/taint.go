@@ -1,0 +1,664 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"wfsim/internal/lint/analysis"
+)
+
+// This file is the interprocedural taint engine shared by the module
+// halves of walltime and seedrand. It computes, bottom-up over the call
+// graph's SCCs, a per-function summary of how taint (wall-clock
+// instants, entropy-derived seed material) flows from sources and
+// parameters to results, struct fields, and package-level variables —
+// then replays each function with the solved summaries to report call
+// sites where tainted values leak into checked code.
+//
+// Tracked flows: assignments (including := and var decls), returns
+// (positional, multi-value, and named-result bare returns), struct
+// field stores (both `x.f = v` and composite literals), package-level
+// variable stores, range statements, method values/calls on tainted
+// receivers, and call boundaries (results and parameters, receiver
+// included). Fields and globals are keyed by declaration position, so
+// identity survives the loader type-checking a package twice (once as
+// an import, once as a lint target).
+//
+// Deliberate approximations, documented here once: taint does not
+// survive a store into a parameter-dependent field (only source-tainted
+// values mark fields), writes from a closure to captured variables of
+// the enclosing function are not seen by the encloser's analysis, and
+// calls with no static callee (interface or function-value dispatch)
+// return untainted values unless the receiver itself is tainted.
+
+// A taintVal describes one value's taint: a non-empty src names the
+// original source ("the wall clock (time.Now)"); params is a bitset of
+// the enclosing function's parameters the value derives from (bit 63 is
+// the method receiver).
+type taintVal struct {
+	src    string
+	params uint64
+}
+
+const recvBit = uint64(1) << 63
+
+func (v taintVal) tainted() bool { return v.src != "" || v.params != 0 }
+
+func (v taintVal) or(w taintVal) taintVal {
+	if v.src == "" {
+		v.src = w.src
+	}
+	v.params |= w.params
+	return v
+}
+
+// A funcSummary is one function's solved dataflow facts.
+type funcSummary struct {
+	// results is the taint of each result value.
+	results []taintVal
+	// seedParams are the parameters that reach a generator-seed sink
+	// (directly or through further calls). seedrand only.
+	seedParams uint64
+}
+
+// taintHooks parameterize the engine per rule.
+type taintHooks struct {
+	// source classifies an expression (CallExpr or SelectorExpr) as an
+	// original taint source and names the culprit, or returns "".
+	source func(info *types.Info, n ast.Node) string
+	// seedCtor recognizes generator constructors whose arguments are
+	// seeds (rand.New, rand.NewPCG, ...) and returns a display name.
+	// Such calls also propagate argument taint to their result, so
+	// rand.New(rand.NewSource(seed)) chains. Nil when the rule has no
+	// seed sinks.
+	seedCtor func(info *types.Info, call *ast.CallExpr) (string, bool)
+}
+
+// reportHooks receive findings during the replay pass.
+type reportHooks struct {
+	// taintedCall fires for a call whose result is source-tainted given
+	// the actual arguments — the laundering case.
+	taintedCall func(call *ast.CallExpr, callee *analysis.FuncNode, culprit string)
+	// seedSink fires when a source-tainted value reaches a seed sink:
+	// a generator constructor argument, or a parameter that a callee's
+	// summary says flows onward into one.
+	seedSink func(call *ast.CallExpr, sinkName string, culprit string)
+}
+
+type taintEngine struct {
+	graph *analysis.Graph
+	fset  *token.FileSet
+	hooks taintHooks
+
+	summaries map[*analysis.FuncNode]*funcSummary
+	// stored maps a field or package-level var (by declaration position)
+	// to the culprit of the source-tainted value stored into it.
+	stored  map[string]string
+	changed bool
+}
+
+func newTaintEngine(graph *analysis.Graph, fset *token.FileSet, hooks taintHooks) *taintEngine {
+	return &taintEngine{
+		graph:     graph,
+		fset:      fset,
+		hooks:     hooks,
+		summaries: make(map[*analysis.FuncNode]*funcSummary),
+		stored:    make(map[string]string),
+	}
+}
+
+// solve computes summaries bottom-up over the SCCs, iterating the whole
+// module to a fixed point: field facts discovered in a caller can feed
+// back into its callees, so one bottom-up pass is not always enough.
+func (e *taintEngine) solve() {
+	for range [8]int{} {
+		e.changed = false
+		anySummary := false
+		for _, scc := range e.graph.SCCs {
+			// Mutually recursive functions iterate locally until stable.
+			for range [4]int{} {
+				sccChanged := false
+				for _, n := range scc {
+					if e.update(n) {
+						sccChanged = true
+						anySummary = true
+					}
+				}
+				if !sccChanged {
+					break
+				}
+			}
+		}
+		if !e.changed && !anySummary {
+			break
+		}
+	}
+}
+
+// update recomputes n's summary; reports whether it changed. Global
+// field facts changing is tracked separately via e.changed.
+func (e *taintEngine) update(n *analysis.FuncNode) bool {
+	sum := e.analyze(n, reportHooks{})
+	old := e.summaries[n]
+	e.summaries[n] = sum
+	return old == nil || !summaryEqual(old, sum)
+}
+
+func summaryEqual(a, b *funcSummary) bool {
+	if a.seedParams != b.seedParams || len(a.results) != len(b.results) {
+		return false
+	}
+	for i := range a.results {
+		if a.results[i] != b.results[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// report replays n with the solved summaries, firing the hooks at
+// offending call sites.
+func (e *taintEngine) report(n *analysis.FuncNode, hooks reportHooks) {
+	e.analyze(n, hooks)
+}
+
+// posKey identifies a types.Object across duplicate type-checks of the
+// same source: both copies parse the same file into the shared FileSet,
+// so declaration positions coincide.
+func (e *taintEngine) posKey(obj types.Object) string {
+	return e.fset.Position(obj.Pos()).String()
+}
+
+// funcState is the intraprocedural scratch for one function.
+type funcState struct {
+	eng     *taintEngine
+	node    *analysis.FuncNode
+	info    *types.Info
+	vars    map[types.Object]taintVal
+	results []taintVal
+	named   []types.Object // named result objects, nil entries for _
+	sink    uint64         // param bits reaching a seed sink
+	hooks   reportHooks
+	// stmtCalls are calls used as bare statements: their results are
+	// discarded, so taintedCall does not fire for them.
+	stmtCalls map[*ast.CallExpr]bool
+	changed   bool
+}
+
+// analyze runs the intraprocedural fixpoint for n and returns its
+// summary. When hooks are set, a final armed pass fires them.
+func (e *taintEngine) analyze(n *analysis.FuncNode, hooks reportHooks) *funcSummary {
+	sig := n.Sig()
+	if sig == nil || n.Body() == nil {
+		return &funcSummary{}
+	}
+	fs := &funcState{
+		eng:       e,
+		node:      n,
+		info:      n.Pkg.Info,
+		vars:      make(map[types.Object]taintVal),
+		results:   make([]taintVal, sig.Results().Len()),
+		stmtCalls: make(map[*ast.CallExpr]bool),
+	}
+	for i := 0; i < sig.Params().Len() && i < 63; i++ {
+		fs.vars[sig.Params().At(i)] = taintVal{params: uint64(1) << i}
+	}
+	if recv := sig.Recv(); recv != nil {
+		fs.vars[recv] = taintVal{params: recvBit}
+	}
+	if res := sig.Results(); res.Len() > 0 && res.At(0).Name() != "" {
+		for i := 0; i < res.Len(); i++ {
+			fs.named = append(fs.named, res.At(i))
+		}
+	}
+	analysis.InspectOwn(n, func(nd ast.Node) {
+		if es, ok := nd.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				fs.stmtCalls[call] = true
+			}
+		}
+	})
+	for range [8]int{} {
+		fs.changed = false
+		fs.walk()
+		if !fs.changed {
+			break
+		}
+	}
+	if hooks.taintedCall != nil || hooks.seedSink != nil {
+		fs.hooks = hooks
+		fs.walk()
+	}
+	return &funcSummary{results: fs.results, seedParams: fs.sink}
+}
+
+// walk evaluates every statement in the function's own body region.
+func (fs *funcState) walk() {
+	analysis.InspectOwn(fs.node, func(nd ast.Node) {
+		switch nd := nd.(type) {
+		case *ast.AssignStmt:
+			fs.assign(nd.Lhs, nd.Rhs)
+		case *ast.GenDecl:
+			if nd.Tok == token.VAR {
+				for _, spec := range nd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Values) == 0 {
+						continue
+					}
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, name := range vs.Names {
+						lhs[i] = name
+					}
+					fs.assign(lhs, vs.Values)
+				}
+			}
+		case *ast.RangeStmt:
+			v := fs.eval(nd.X)
+			if v.tainted() {
+				for _, kv := range []ast.Expr{nd.Key, nd.Value} {
+					if id, ok := kv.(*ast.Ident); ok && id.Name != "_" {
+						fs.setObj(objOf(fs.info, id), v)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			fs.ret(nd)
+		case *ast.CallExpr:
+			// Evaluate calls in statement position too, so sinks and
+			// field stores inside argument expressions are seen.
+			fs.eval(nd)
+		}
+	})
+}
+
+func (fs *funcState) assign(lhs, rhs []ast.Expr) {
+	var vals []taintVal
+	if len(lhs) > 1 && len(rhs) == 1 {
+		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok {
+			vals = fs.callResults(call, len(lhs))
+		} else {
+			v := fs.eval(rhs[0]) // comma-ok and similar
+			vals = make([]taintVal, len(lhs))
+			for i := range vals {
+				vals[i] = v
+			}
+		}
+	} else {
+		vals = make([]taintVal, len(lhs))
+		for i := range lhs {
+			if i < len(rhs) {
+				vals[i] = fs.eval(rhs[i])
+			}
+		}
+	}
+	for i, l := range lhs {
+		fs.store(l, vals[i])
+	}
+}
+
+// store records taint flowing into an lvalue.
+func (fs *funcState) store(lhs ast.Expr, v taintVal) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := objOf(fs.info, l)
+		if isPackageLevel(obj) {
+			fs.storeGlobal(obj, v)
+			return
+		}
+		fs.setObj(obj, v)
+	case *ast.SelectorExpr:
+		if sel, ok := fs.info.Selections[l]; ok && sel.Kind() == types.FieldVal {
+			fs.storeGlobal(sel.Obj(), v)
+			return
+		}
+		// Qualified package-level var (pkg.V).
+		if obj := objOf(fs.info, l.Sel); isPackageLevel(obj) {
+			fs.storeGlobal(obj, v)
+		}
+	case *ast.IndexExpr:
+		if id := rootIdent(l.X); id != nil {
+			fs.setObj(objOf(fs.info, id), v) // container holds tainted element
+		}
+	case *ast.StarExpr:
+		if id := rootIdent(l.X); id != nil {
+			fs.setObj(objOf(fs.info, id), v)
+		}
+	}
+}
+
+// storeGlobal records a source-tainted store into a struct field or a
+// package-level variable (parameter-dependent taint is dropped here:
+// the summary cannot express "field f is tainted at some call sites").
+func (fs *funcState) storeGlobal(obj types.Object, v taintVal) {
+	if obj == nil || v.src == "" {
+		return
+	}
+	key := fs.eng.posKey(obj)
+	if fs.eng.stored[key] == "" {
+		fs.eng.stored[key] = v.src
+		fs.eng.changed = true
+	}
+}
+
+func (fs *funcState) setObj(obj types.Object, v taintVal) {
+	if obj == nil || !v.tainted() {
+		return
+	}
+	merged := fs.vars[obj].or(v)
+	if merged != fs.vars[obj] {
+		fs.vars[obj] = merged
+		fs.changed = true
+	}
+}
+
+func (fs *funcState) ret(r *ast.ReturnStmt) {
+	if len(r.Results) == 0 {
+		for i, obj := range fs.named {
+			if obj != nil && i < len(fs.results) {
+				fs.mergeResult(i, fs.vars[obj])
+			}
+		}
+		return
+	}
+	if len(r.Results) == 1 && len(fs.results) > 1 {
+		if call, ok := ast.Unparen(r.Results[0]).(*ast.CallExpr); ok {
+			for i, v := range fs.callResults(call, len(fs.results)) {
+				fs.mergeResult(i, v)
+			}
+			return
+		}
+	}
+	for i, res := range r.Results {
+		if i < len(fs.results) {
+			fs.mergeResult(i, fs.eval(res))
+		}
+	}
+}
+
+func (fs *funcState) mergeResult(i int, v taintVal) {
+	merged := fs.results[i].or(v)
+	if merged != fs.results[i] {
+		fs.results[i] = merged
+		fs.changed = true
+	}
+}
+
+// eval computes the taint of an expression, recording sink hits and
+// field stores it encounters along the way.
+func (fs *funcState) eval(expr ast.Expr) taintVal {
+	if expr == nil {
+		return taintVal{}
+	}
+	switch ex := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj := objOf(fs.info, ex)
+		if v, ok := fs.vars[obj]; ok {
+			return v
+		}
+		if isPackageLevel(obj) {
+			if culprit := fs.eng.stored[fs.eng.posKey(obj)]; culprit != "" {
+				return taintVal{src: culprit}
+			}
+		}
+		return taintVal{}
+	case *ast.SelectorExpr:
+		if fs.eng.hooks.source != nil {
+			if culprit := fs.eng.hooks.source(fs.info, ex); culprit != "" {
+				return taintVal{src: culprit}
+			}
+		}
+		if sel, ok := fs.info.Selections[ex]; ok && sel.Kind() == types.FieldVal {
+			if culprit := fs.eng.stored[fs.eng.posKey(sel.Obj())]; culprit != "" {
+				return taintVal{src: culprit}
+			}
+			return fs.eval(ex.X) // field of a tainted struct value
+		}
+		if obj := objOf(fs.info, ex.Sel); isPackageLevel(obj) {
+			if culprit := fs.eng.stored[fs.eng.posKey(obj)]; culprit != "" {
+				return taintVal{src: culprit}
+			}
+			return taintVal{}
+		}
+		return fs.eval(ex.X) // method value on a tainted receiver
+	case *ast.CallExpr:
+		return fs.call(ex)
+	case *ast.BinaryExpr:
+		return fs.eval(ex.X).or(fs.eval(ex.Y))
+	case *ast.UnaryExpr:
+		return fs.eval(ex.X)
+	case *ast.StarExpr:
+		return fs.eval(ex.X)
+	case *ast.IndexExpr:
+		return fs.eval(ex.X)
+	case *ast.SliceExpr:
+		return fs.eval(ex.X)
+	case *ast.TypeAssertExpr:
+		return fs.eval(ex.X)
+	case *ast.CompositeLit:
+		var v taintVal
+		for _, el := range ex.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				ev := fs.eval(kv.Value)
+				v = v.or(ev)
+				// Struct literal: a tainted element taints its field.
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					if f, ok := fs.info.Uses[id].(*types.Var); ok && f.IsField() {
+						fs.storeGlobal(f, ev)
+					}
+				}
+				continue
+			}
+			v = v.or(fs.eval(el))
+		}
+		// Positional struct literal: taint fields by index.
+		if st, ok := structTypeOf(fs.info, ex); ok {
+			for i, el := range ex.Elts {
+				if _, keyed := el.(*ast.KeyValueExpr); keyed {
+					continue
+				}
+				if i < st.NumFields() {
+					fs.storeGlobal(st.Field(i), fs.eval(el))
+				}
+			}
+		}
+		return v
+	}
+	return taintVal{}
+}
+
+// call evaluates a call expression: conversions, sources, seed-sink
+// constructors, known callees (summary application), and unknown
+// callees (receiver pass-through).
+func (fs *funcState) call(call *ast.CallExpr) taintVal {
+	info := fs.info
+	// Type conversion: taint passes through unchanged.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return fs.eval(call.Args[0])
+		}
+		return taintVal{}
+	}
+	if fs.eng.hooks.source != nil {
+		if culprit := fs.eng.hooks.source(info, call); culprit != "" {
+			return taintVal{src: culprit}
+		}
+	}
+	// Seed-sink constructor: check arguments, propagate their taint.
+	if fs.eng.hooks.seedCtor != nil {
+		if name, ok := fs.eng.hooks.seedCtor(info, call); ok {
+			var v taintVal
+			for _, arg := range call.Args {
+				av := fs.eval(arg)
+				v = v.or(av)
+				if av.src != "" && fs.hooks.seedSink != nil {
+					fs.hooks.seedSink(call, name, av.src)
+				}
+				fs.sinkBits(av)
+			}
+			return v
+		}
+	}
+	callee := analysis.StaticCallee(info, call)
+	node := fs.eng.graph.NodeOf(callee)
+	if node == nil {
+		// Unknown callee. Builtins and stdlib propagate argument and
+		// receiver taint conservatively (t.UnixNano() is as tainted as
+		// t), but produce no reports.
+		var v taintVal
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if _, isMethod := info.Selections[sel]; isMethod {
+				v = fs.eval(sel.X)
+			}
+		}
+		if isBuiltinCall(info, call) {
+			for _, arg := range call.Args {
+				v = v.or(fs.eval(arg))
+			}
+		}
+		return v
+	}
+	sum := fs.eng.summaries[node]
+	if sum != nil && sum.seedParams != 0 {
+		sig := node.Sig()
+		np := 0
+		if sig != nil {
+			np = sig.Params().Len()
+		}
+		for j := 0; j < np && j < 63; j++ {
+			if sum.seedParams&(uint64(1)<<j) == 0 {
+				continue
+			}
+			var av taintVal
+			if j < len(call.Args) {
+				av = fs.eval(call.Args[j])
+			}
+			if av.src != "" && fs.hooks.seedSink != nil {
+				fs.hooks.seedSink(call, node.Name(), av.src)
+			}
+			fs.sinkBits(av)
+		}
+	}
+	var v taintVal
+	if sum != nil {
+		for _, sv := range sum.results {
+			v = v.or(fs.applyAt(node, call, sv))
+		}
+	}
+	if v.src != "" && fs.hooks.taintedCall != nil && !fs.stmtCalls[call] {
+		fs.hooks.taintedCall(call, node, v.src)
+	}
+	// Evaluate remaining arguments for their side effects on the
+	// analysis (nested sinks, field stores).
+	for _, arg := range call.Args {
+		fs.eval(arg)
+	}
+	return v
+}
+
+// applyAt maps a summary value's parameter bits through the receiver and
+// actual arguments at a call site.
+func (fs *funcState) applyAt(node *analysis.FuncNode, call *ast.CallExpr, sv taintVal) taintVal {
+	out := taintVal{src: sv.src}
+	if sv.params == 0 {
+		return out
+	}
+	if sv.params&recvBit != 0 {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if _, isMethod := fs.info.Selections[sel]; isMethod {
+				out = out.or(fs.eval(sel.X))
+			}
+		}
+	}
+	sig := node.Sig()
+	if sig == nil {
+		return out
+	}
+	np := sig.Params().Len()
+	for j := 0; j < np && j < 63; j++ {
+		if sv.params&(uint64(1)<<j) == 0 {
+			continue
+		}
+		if sig.Variadic() && j == np-1 {
+			for k := j; k < len(call.Args); k++ {
+				out = out.or(fs.eval(call.Args[k]))
+			}
+			continue
+		}
+		if j < len(call.Args) {
+			out = out.or(fs.eval(call.Args[j]))
+		}
+	}
+	return out
+}
+
+// callResults evaluates a call in multi-value context (x, y := f()),
+// preserving per-result taint when the callee's summary is known.
+func (fs *funcState) callResults(call *ast.CallExpr, n int) []taintVal {
+	vals := make([]taintVal, n)
+	merged := fs.call(call)
+	node := fs.eng.graph.NodeOf(analysis.StaticCallee(fs.info, call))
+	if node == nil {
+		for i := range vals {
+			vals[i] = merged
+		}
+		return vals
+	}
+	sum := fs.eng.summaries[node]
+	if sum == nil {
+		return vals
+	}
+	for i := range vals {
+		if i < len(sum.results) {
+			vals[i] = fs.applyAt(node, call, sum.results[i])
+		}
+	}
+	return vals
+}
+
+// sinkBits records that the given parameters flow into a seed sink.
+func (fs *funcState) sinkBits(v taintVal) {
+	if v.params != 0 && fs.sink|v.params != fs.sink {
+		fs.sink |= v.params
+		fs.changed = true
+	}
+}
+
+// isPackageLevel reports whether obj lives beyond any one function
+// activation — a struct field or a package-level variable — and so
+// resolves through the engine's position-keyed stored map.
+func isPackageLevel(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	if v.IsField() {
+		return true
+	}
+	return v.Parent() != nil && v.Parent().Parent() == types.Universe
+}
+
+func structTypeOf(info *types.Info, lit *ast.CompositeLit) (*types.Struct, bool) {
+	tv, ok := info.Types[lit]
+	if !ok {
+		return nil, false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+func isBuiltinCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, ok = objOf(info, id).(*types.Builtin)
+	return ok
+}

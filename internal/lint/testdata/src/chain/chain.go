@@ -1,0 +1,41 @@
+// Package chain is the virtual-time side of the walltime chain fixture:
+// it never touches the time package, yet consuming a wall-clock value
+// laundered through two cross-package helper hops is still flagged —
+// the acceptance case for the interprocedural half.
+package chain
+
+import (
+	"time"
+
+	"chain/inner"
+)
+
+// relay is the second hop: a one-line wrapper that would have made the
+// clock read invisible to a per-package rule. The call it wraps is
+// itself a flagged consumption — this file is virtual-time.
+func relay() int64 {
+	return inner.StampNanos() // want `call to chain/inner.StampNanos returns a wall-clock-derived value \(from time.Now\)`
+}
+
+// Consume is the laundering sink: two hops and a package boundary away
+// from time.Now, and still caught.
+func Consume() int64 {
+	v := relay() // want `call to chain.relay returns a wall-clock-derived value \(from time.Now\)`
+	return v
+}
+
+// Cutoff consumes an instant returned by the annotated layer.
+func Cutoff() time.Time {
+	return inner.Deadline(time.Second) // want `call to chain/inner.Deadline returns a wall-clock-derived value \(from time.Now\)`
+}
+
+// Plan is clean: durations are pure values, not clock reads.
+func Plan() time.Duration {
+	return inner.Budget() + time.Second
+}
+
+// discard proves result-insensitivity: a tainted call whose value is
+// thrown away is not a consumption.
+func discard() {
+	relay()
+}

@@ -1,0 +1,26 @@
+// Package inner is the annotated real-time layer of the walltime chain
+// fixture: reading the host clock is legal here, but the values it
+// returns stay tainted — consumers in virtual-time code are still
+// flagged, however many hops away.
+//
+//wfsimlint:wallclock
+
+package inner
+
+import "time"
+
+// StampNanos reads the host clock. Clean in this file; the returned
+// value carries the taint.
+func StampNanos() int64 {
+	return time.Now().UnixNano()
+}
+
+// Deadline returns a host-clock instant directly.
+func Deadline(grace time.Duration) time.Time {
+	return time.Now().Add(grace)
+}
+
+// Budget is clean everywhere: a pure duration, no clock read.
+func Budget() time.Duration {
+	return 5 * time.Second
+}

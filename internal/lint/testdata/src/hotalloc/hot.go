@@ -1,0 +1,92 @@
+// Package hotalloc is the fixture for the hot-path allocation rule:
+// allocation in functions reachable from a //wfsimlint:hotpath root is
+// flagged — including through helper calls — while the capped-append
+// scratch idiom, setup code off the hot path, and annotated exceptions
+// pass clean.
+package hotalloc
+
+import "fmt"
+
+type task struct {
+	id   int
+	deps []int
+}
+
+// dispatchLoop is the fixture's steady-state root, standing in for the
+// runtime dispatch path.
+//
+//wfsimlint:hotpath
+func dispatchLoop(tasks []task, ready []int) {
+	for _, t := range tasks {
+		ready = collectReady(ready, t) // the acceptance case: uncapped append one hop down
+		noteDone(t.id)
+		_ = scratchReuse(ready, tasks)
+		hotMake(t.id)
+		_ = hotClosure(t.id)
+		annotated(t.id)
+	}
+}
+
+// collectReady is one call away from the root: its uncapped append is a
+// hot-path allocation even though this function carries no annotation.
+func collectReady(ready []int, t task) []int {
+	return append(ready, t.id) // want `append may grow "ready" in the steady-state simulate path`
+}
+
+// noteDone formats on the hot path; Sprintf allocates its result.
+func noteDone(id int) {
+	_ = fmt.Sprintf("task %d", id) // want `fmt.Sprintf allocates in the steady-state simulate path`
+	record(id)
+}
+
+// record boxes its concrete argument into an interface parameter.
+func record(id int) {
+	observe(id) // want `passing int by value into an interface parameter boxes it`
+}
+
+func observe(v any) { _ = v }
+
+// scratchReuse is clean: the slice is visibly recycled, so appends to it
+// are amortized-allocation-free (the scheduler's Place idiom).
+func scratchReuse(scratch []int, tasks []task) int {
+	scratch = scratch[:0]
+	for _, t := range tasks {
+		scratch = append(scratch, t.id)
+	}
+	return len(scratch)
+}
+
+// hotMake allocates containers per call.
+func hotMake(n int) {
+	seen := make(map[int]bool) // want `make allocates in the steady-state simulate path`
+	_ = seen
+	_ = []int{n}          // want `slice literal allocates in the steady-state simulate path`
+	_ = map[int]int{n: n} // want `map literal allocates in the steady-state simulate path`
+}
+
+// hotClosure builds a fresh closure per call; the environment capture is
+// a heap allocation.
+func hotClosure(base int) func(int) int {
+	return func(x int) int { return x + base } // want `closure captures "base" and allocates its environment`
+}
+
+// annotated is a deliberate exception — an error path allowed to format.
+func annotated(id int) {
+	_ = fmt.Sprintf("task %d failed", id) //wfsimlint:allow hotalloc
+}
+
+// Everything below is off the hot path: identical constructs, no
+// diagnostics, proving the rule is reachability-scoped rather than
+// syntactic.
+
+func setup(n int) []task {
+	tasks := make([]task, 0)
+	for i := 0; i < n; i++ {
+		tasks = append(tasks, task{id: i, deps: []int{i - 1}})
+	}
+	return tasks
+}
+
+func report(tasks []task) string {
+	return fmt.Sprintf("%d tasks", len(tasks))
+}

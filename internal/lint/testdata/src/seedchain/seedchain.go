@@ -1,0 +1,52 @@
+// Package seedchain is the interprocedural seedrand fixture: entropy
+// that flows into a generator constructor through helper returns, local
+// variables, struct fields, and parameter positions — across a package
+// boundary — is flagged at the point where the seed is committed, while
+// constant seeds routed through the same shapes pass clean.
+package seedchain
+
+import (
+	"math/rand"
+
+	"seedchain/seeds"
+)
+
+// newGen commits its parameter as a seed; callers passing entropy are
+// flagged at their call sites via the parameter-flow summary.
+func newGen(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+type genConfig struct {
+	seed int64
+}
+
+// Build exercises the flows.
+func Build() *rand.Rand {
+	// Helper-returned entropy straight into a constructor.
+	src := rand.NewSource(seeds.WallSeed()) // want `rand.NewSource is seeded from the wall clock \(time.Now\)`
+	_ = src
+
+	// Entropy through a local variable.
+	pid := seeds.PidSeed()
+	_ = rand.NewSource(pid) // want `rand.NewSource is seeded from the process ID \(os.Getpid\)`
+
+	// Entropy through a parameter, flagged where the caller supplies it.
+	g := newGen(seeds.WallSeed()) // want `newGen is seeded from the wall clock \(time.Now\)`
+
+	// Entropy through a struct field.
+	cfg := genConfig{seed: seeds.WallSeed()}
+	_ = rand.NewSource(cfg.seed) // want `rand.NewSource is seeded from the wall clock \(time.Now\)`
+
+	// The same shapes with constant material are the approved pattern.
+	_ = newGen(42)
+	_ = newGen(seeds.FixedSeed())
+
+	// Field taint is per-field, not per-instance (a documented
+	// over-approximation): once any instance's seed field held entropy,
+	// reads of that field flag even on a constant-initialized value.
+	fixed := genConfig{seed: 7}
+	_ = rand.NewSource(fixed.seed) // want `rand.NewSource is seeded from the wall clock \(time.Now\)`
+
+	return g
+}

@@ -1,0 +1,90 @@
+// Package simblock is the fixture for the simblock rule: process bodies
+// handed to Engine.Go/GoAfter — directly, as literals, as method values,
+// or through a bound-once field — must not block the engine's single
+// coroutine thread, and neither may anything they call. Identical
+// constructs outside any process body pass clean.
+package simblock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"simblockeng"
+)
+
+type worker struct {
+	mu     sync.Mutex
+	bodyFn func(*simblockeng.Proc) // bound once at setup, spawned later
+	done   chan int
+}
+
+// Start wires the fixture's process bodies: a named function, a bound
+// method traced through the bodyFn field, and an inline literal.
+func Start(e *simblockeng.Engine, w *worker) {
+	w.bodyFn = w.step
+	e.Go("direct", directBody)
+	e.GoAfter("bound", 1, w.bodyFn)
+	e.Go("inline", func(p *simblockeng.Proc) {
+		time.Sleep(time.Millisecond) // want `time.Sleep inside a simulated process body waits on the host clock`
+		p.Wait(1)
+	})
+}
+
+// directBody is a process body by virtue of the e.Go call above; its own
+// statements and everything it calls are checked.
+func directBody(p *simblockeng.Proc) {
+	p.Wait(2) // clean: virtual waiting is the approved primitive
+	helper(p)
+	go helper(p) // want `go statement inside a simulated process body spawns a real goroutine`
+}
+
+// helper is one hop from a process body: still checked.
+func helper(p *simblockeng.Proc) {
+	ch := make(chan int, 1)
+	ch <- 1  // want `channel send inside a simulated process body`
+	<-ch     // want `channel receive inside a simulated process body`
+	select { // want `select inside a simulated process body`
+	case v := <-ch: // want `channel receive inside a simulated process body`
+		_ = v
+	default:
+	}
+}
+
+// step runs as a process through the bodyFn indirection; the rule traces
+// the field back to this assignment.
+func (w *worker) step(p *simblockeng.Proc) {
+	w.mu.Lock() // want `sync Mutex.Lock inside a simulated process body`
+	w.mu.Unlock()
+	fmt.Println("step")     // want `fmt.Println writes to a real stream inside a simulated process body`
+	for v := range w.done { // want `ranging over a channel inside a simulated process body`
+		_ = v
+	}
+}
+
+// annotatedBody runs as a process only via the doc-comment annotation —
+// the spawn happens through an indirection the call graph cannot see.
+//
+//wfsimlint:procbody
+func annotatedBody(p *simblockeng.Proc) {
+	time.Sleep(time.Second) // want `time.Sleep inside a simulated process body`
+	waved(p)
+}
+
+// waved carries a deliberate, line-annotated exception.
+func waved(p *simblockeng.Proc) {
+	time.Sleep(time.Millisecond) //wfsimlint:allow simblock
+}
+
+// Drive is ordinary (non-process) code: the same constructs are fine
+// here — this is what keeps the rule reachability-scoped rather than a
+// blanket channel ban.
+func Drive(e *simblockeng.Engine, w *worker) {
+	w.mu.Lock()
+	w.mu.Unlock()
+	ch := make(chan int, 1)
+	ch <- 1
+	<-ch
+	fmt.Println("driving")
+	e.Run()
+}

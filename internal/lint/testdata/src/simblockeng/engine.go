@@ -1,0 +1,36 @@
+// Package simblockeng is the coroutine-substrate fixture for the
+// simblock rule: a minimal Engine with the Go/GoAfter process-spawning
+// shape. Its own package is exempt from the rule — the substrate is
+// allowed to touch the machinery process bodies must never use.
+package simblockeng
+
+// Proc is a simulated process handle.
+type Proc struct {
+	clock float64
+}
+
+// Wait advances the process's virtual clock — the approved way for a
+// process body to spend time.
+func (p *Proc) Wait(d float64) { p.clock += d }
+
+// Engine runs process bodies as single-threaded coroutines.
+type Engine struct {
+	pending []func(*Proc)
+}
+
+// Go starts fn as a simulated process now.
+func (e *Engine) Go(name string, fn func(*Proc)) { e.GoAfter(name, 0, fn) }
+
+// GoAfter starts fn as a simulated process after delay virtual seconds.
+func (e *Engine) GoAfter(name string, delay float64, fn func(*Proc)) {
+	_ = delay
+	e.pending = append(e.pending, fn)
+}
+
+// Run drains the pending processes; being in the substrate package, the
+// machinery here is exempt however it synchronizes.
+func (e *Engine) Run() {
+	for _, fn := range e.pending {
+		fn(&Proc{})
+	}
+}

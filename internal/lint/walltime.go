@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 
 	"wfsim/internal/lint/analysis"
 )
@@ -11,6 +12,20 @@ import (
 // (sim.Engine.Now); any time.Now/Since/Sleep in those packages either
 // leaks nondeterministic wall-clock values into results or stalls a
 // simulation that should complete in microseconds.
+//
+// The rule has two halves:
+//
+//   - Per package, every direct call into the host clock (time.Now,
+//     time.Since, time.Sleep, ...) is flagged in non-annotated files.
+//
+//   - Per module, a taint analysis over the call graph tracks
+//     wall-clock *values* through returns, assignments, struct fields,
+//     and call boundaries: a helper that returns time.Now().UnixNano()
+//     — even from a //wfsimlint:wallclock-annotated file, even through
+//     a chain of helpers across packages — taints its result, and any
+//     call consuming that result from simulation code is flagged. This
+//     closes the laundering hole where a one-line wrapper converted a
+//     forbidden direct call into an invisible indirect one.
 //
 // The rule is deny-by-default: every non-test file is virtual-time unless
 // it carries the file-level annotation
@@ -23,12 +38,13 @@ import (
 // and the real-execution local backend. Individual calls can also be
 // waved through with //wfsimlint:allow walltime.
 //
-// Test files are exempt: tests and benchmarks legitimately sleep and time
-// themselves, and they are not part of the simulated world.
+// Test files are exempt: tests and benchmarks legitimately sleep, time
+// themselves, and live outside the simulated world.
 var WallTime = &analysis.Analyzer{
-	Name: "walltime",
-	Doc:  "forbids wall-clock time (time.Now/Since/Sleep/...) outside the annotated real-time layer",
-	Run:  runWallTime,
+	Name:      "walltime",
+	Doc:       "forbids wall-clock time (time.Now/Since/Sleep/...) outside the annotated real-time layer, including wall-clock values laundered through helper calls",
+	Run:       runWallTime,
+	RunModule: runWallTimeModule,
 }
 
 // wallFuncs are the package-level `time` entry points that observe or
@@ -38,6 +54,19 @@ var wallFuncs = map[string]bool{
 	"Now": true, "Since": true, "Until": true, "Sleep": true,
 	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
 	"AfterFunc": true,
+}
+
+// wallValueFuncs are the subset that produce a host-clock *instant* (or
+// a timer bound to one) — the taint sources for the module half. Since
+// and Until are deliberately absent: they return durations, and a
+// measured elapsed span is the real-time layer's legitimate data product
+// (the experiment tables are full of them); only the instants that tie
+// code to the live clock make downstream consumers nondeterministic.
+// Direct Since/Until calls in simulation code are still flagged by the
+// per-package half.
+var wallValueFuncs = map[string]bool{
+	"Now": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
 }
 
 func runWallTime(pass *analysis.Pass) error {
@@ -55,6 +84,63 @@ func runWallTime(pass *analysis.Pass) error {
 			}
 			return true
 		})
+	}
+	return nil
+}
+
+// wallSource classifies calls to value-producing host-clock functions as
+// taint sources.
+func wallSource(info *types.Info, n ast.Node) string {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !wallValueFuncs[sel.Sel.Name] {
+		return ""
+	}
+	if path, ok := pkgPathOf(info, sel.X); ok && path == "time" {
+		return "time." + sel.Sel.Name
+	}
+	return ""
+}
+
+// runWallTimeModule is the interprocedural half: solve the wall-clock
+// taint over the whole module, then flag every call in checked
+// (non-test, non-wallclock) files whose result is wall-clock-derived.
+func runWallTimeModule(pass *analysis.ModulePass) error {
+	eng := newTaintEngine(pass.Graph, pass.Fset, taintHooks{source: wallSource})
+	eng.solve()
+	for _, n := range pass.Graph.Nodes {
+		if !checkedWallFile(pass, n) {
+			continue
+		}
+		eng.report(n, reportHooks{
+			taintedCall: func(call *ast.CallExpr, callee *analysis.FuncNode, culprit string) {
+				pass.Reportf(call.Pos(), "call to %s returns a wall-clock-derived value (from %s): simulation code must not consume host-clock instants, however many helpers they pass through; use the engine's virtual clock or annotate the file //wfsimlint:wallclock", callee.Name(), culprit)
+			},
+		})
+	}
+	return nil
+}
+
+// checkedWallFile reports whether n's enclosing file is subject to
+// walltime reporting.
+func checkedWallFile(pass *analysis.ModulePass, n *analysis.FuncNode) bool {
+	if pass.IsTestFile(n.Pos()) {
+		return false
+	}
+	f := fileOf(n)
+	return f != nil && !analysis.FileHasAnnotation(f, "wallclock")
+}
+
+// fileOf finds the *ast.File containing n's declaration.
+func fileOf(n *analysis.FuncNode) *ast.File {
+	pos := n.Pos()
+	for _, f := range n.Pkg.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
 	}
 	return nil
 }

@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -37,8 +38,10 @@ import (
 	"wfsim/internal/experiments"
 	"wfsim/internal/faults"
 	"wfsim/internal/model"
+	"wfsim/internal/resultcache"
 	"wfsim/internal/runner"
 	"wfsim/internal/runtime"
+	"wfsim/internal/server"
 	"wfsim/internal/service"
 	"wfsim/internal/storage"
 	"wfsim/internal/tables"
@@ -103,6 +106,8 @@ func main() {
 		err = cmdGantt(os.Args[2:])
 	case "service":
 		err = cmdService(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -128,6 +133,12 @@ func usage() {
   wfsim gantt                      ASCII per-core timeline of a simulated run
   wfsim service                    multi-tenant online simulation: a workflow stream on one cluster
                                    -tenants N -load L -arrivals poisson|g1,g2,... -count -weights -quota
+  wfsim serve                      HTTP/JSON server over the experiment registry
+                                   -addr :8080 -cache DIR -cache-max BYTES
+                                   GET /experiments /run/{id} /stats, POST /whatif
+
+run accepts -cache DIR to persist trial results: a second identical run
+is served from the cache instead of re-simulated.
 
 trace, gantt and service accept -storage shared|local and deterministic failure
 injection: -fault-seed -fault-mtbf -fault-mttr -fault-p -fault-straggler-mtbf`)
@@ -145,6 +156,7 @@ func cmdList() error {
 func cmdRun(args []string) error {
 	asJSON := false
 	workers := 0
+	cacheDir := ""
 	var ids []string
 	for i := 0; i < len(args); i++ {
 		a := args[i]
@@ -167,6 +179,14 @@ func cmdRun(args []string) error {
 				return fmt.Errorf("run: %q: %w", a, err)
 			}
 			workers = n
+		case a == "-cache" || a == "--cache":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("run: -cache needs a directory")
+			}
+			cacheDir = args[i]
+		case strings.HasPrefix(a, "-cache="):
+			cacheDir = strings.TrimPrefix(a, "-cache=")
 		default:
 			ids = append(ids, a)
 		}
@@ -185,6 +205,19 @@ func cmdRun(args []string) error {
 	// One engine across all requested experiments: identical factor
 	// combinations appearing in several figures simulate once.
 	eng := runner.New(workers)
+	if cacheDir != "" {
+		store, err := resultcache.Open(cacheDir, 0)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			st := store.Stats()
+			fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d puts, %d entries, %d bytes\n",
+				st.Hits, st.Misses, st.Puts, st.Entries, st.Bytes)
+			store.Close()
+		}()
+		eng.SetCache(store)
+	}
 	type jsonOut struct {
 		ID     string             `json:"id"`
 		Title  string             `json:"title"`
@@ -457,6 +490,46 @@ func cmdTrace(args []string) error {
 		return res.Collector.WriteCSV(w)
 	}
 	return res.Collector.WritePRV(w)
+}
+
+// cmdServe exposes the experiment registry and the persistent result
+// cache over HTTP: run-by-name, single-trial what-if queries answered
+// from cache when warm, and cache/engine counters.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	cacheDir := fs.String("cache", "", "persistent result-cache directory (empty = in-memory memo only)")
+	cacheMax := fs.Int64("cache-max", 0, "cache size bound in bytes (0 = unbounded)")
+	workers := fs.Int("j", 0, "trial parallelism (0 = all CPUs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	eng := runner.New(*workers)
+	var store *resultcache.Store
+	if *cacheDir != "" {
+		var err error
+		store, err = resultcache.Open(*cacheDir, *cacheMax)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		fmt.Fprintf(os.Stderr, "wfsim serve: cache %s (%d entries warm)\n", *cacheDir, store.Stats().Entries)
+	}
+	srv := server.New(eng, store)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutCtx)
+	}()
+	fmt.Fprintf(os.Stderr, "wfsim serve: listening on %s\n", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
 }
 
 // cmdService runs the cluster as an online multi-tenant service: a seeded

@@ -51,7 +51,8 @@ func (d DeviceKind) String() string {
 	case GPU:
 		return "GPU"
 	default:
-		return fmt.Sprintf("DeviceKind(%d)", int(d))
+		// Unreachable for valid kinds; only a corrupted value formats.
+		return fmt.Sprintf("DeviceKind(%d)", int(d)) //wfsimlint:allow hotalloc
 	}
 }
 
@@ -341,7 +342,9 @@ func (p *Params) ParallelTime(prof Profile, dev DeviceKind) float64 {
 		}
 		return p.GPULaunch + prof.ParallelOps/(k.GPURate*occ)
 	default:
-		panic(fmt.Sprintf("costmodel: unknown device kind %d", dev))
+		// Programming-error path: the panic message formats only when the
+		// simulation is already dead.
+		panic(fmt.Sprintf("costmodel: unknown device kind %d", dev)) //wfsimlint:allow hotalloc
 	}
 }
 

@@ -165,6 +165,7 @@ type Graph struct {
 
 	succsBuilt bool // successor lists are up to date
 	succArena  []int
+	succCounts []int // reusable per-task counter/cursor scratch
 }
 
 // New returns an empty graph.
@@ -377,7 +378,11 @@ func (g *Graph) ensureSuccs() {
 	if g.succsBuilt {
 		return
 	}
-	counts := make([]int, len(g.tasks))
+	if cap(g.succCounts) < len(g.tasks) || cap(g.succArena) < g.edgeCount() {
+		g.growSuccScratch()
+	}
+	counts := g.succCounts[:len(g.tasks)]
+	clear(counts)
 	total := 0
 	for _, t := range g.tasks {
 		for _, d := range t.deps {
@@ -385,20 +390,41 @@ func (g *Graph) ensureSuccs() {
 			total++
 		}
 	}
-	g.succArena = make([]int, total)
-	arena := g.succArena
+	arena := g.succArena[:total]
 	off := 0
 	for _, t := range g.tasks {
-		t.succs = arena[off : off : off+counts[t.ID]]
-		off += counts[t.ID]
+		n := counts[t.ID]
+		t.succs = arena[off : off+n : off+n]
+		counts[t.ID] = 0 // becomes the fill cursor below
+		off += n
 	}
+	// Indexed writes in task-ID order — exactly the insertion order
+	// incremental building would produce, with no append in sight.
 	for _, t := range g.tasks {
 		for _, d := range t.deps {
 			dt := g.tasks[d]
-			dt.succs = append(dt.succs, t.ID)
+			dt.succs[counts[d]] = t.ID
+			counts[d]++
 		}
 	}
 	g.succsBuilt = true
+}
+
+func (g *Graph) edgeCount() int {
+	total := 0
+	for _, t := range g.tasks {
+		total += len(t.deps)
+	}
+	return total
+}
+
+// growSuccScratch (re)sizes the successor-construction scratch to the
+// current graph. Cold by construction: it runs when the graph has grown
+// past the scratch high-water mark — once per graph shape, after which
+// every rebuild reuses the buffers allocation-free.
+func (g *Graph) growSuccScratch() {
+	g.succCounts = make([]int, len(g.tasks)) //wfsimlint:allow hotalloc
+	g.succArena = make([]int, g.edgeCount()) //wfsimlint:allow hotalloc
 }
 
 // Len returns the number of tasks.

@@ -26,7 +26,9 @@ import (
 	"wfsim/internal/cluster"
 	"wfsim/internal/costmodel"
 	"wfsim/internal/dataset"
+	"wfsim/internal/faults"
 	"wfsim/internal/metrics"
+	"wfsim/internal/resultcache"
 	"wfsim/internal/runner"
 	"wfsim/internal/runtime"
 	"wfsim/internal/sched"
@@ -87,6 +89,11 @@ type CellConfig struct {
 	// Params overrides the calibrated K80-era testbed model (nil keeps
 	// it); the ext2 experiment passes costmodel.ModernParams().
 	Params *costmodel.Params
+	// Seed feeds the Random scheduling policy (unused by the
+	// deterministic policies, but always part of the cache key).
+	Seed uint64
+	// Faults parameterizes failure injection; the zero value disables it.
+	Faults faults.Config
 }
 
 // Cell is the measured outcome of one factor combination — one point of a
@@ -224,6 +231,8 @@ func runCell(cfg CellConfig, scratch *cellScratch) (Cell, error) {
 		Storage: cfg.Storage,
 		Policy:  cfg.Policy,
 		Device:  cfg.Device,
+		Seed:    cfg.Seed,
+		Faults:  cfg.Faults,
 		Sink:    scratch.agg,
 		Arena:   &scratch.arena,
 	})
@@ -297,18 +306,14 @@ func headlineComplexity(cfg CellConfig, part dataset.Partition) float64 {
 // virtual-time accounting.
 func (c Cell) VirtualSeconds() float64 { return c.Makespan }
 
-// CellKey is the memoization key of a factor combination: two configs
-// with equal keys are guaranteed to simulate identically (the simulator
-// is deterministic and the config captures every input), so the trial
-// engine runs them once and shares the cell.
+// CellKey is the canonical key of a factor combination: two configs with
+// equal keys are guaranteed to simulate identically (the simulator is
+// deterministic and the config captures every input), so the trial
+// engine runs them once and shares the cell. The key is stable across
+// processes and struct-field refactors (resultcache canonical encoding),
+// which is what lets the persistent cache serve cells across runs.
 func CellKey(cfg CellConfig) string {
-	params := ""
-	if cfg.Params != nil {
-		params = fmt.Sprintf("%+v", *cfg.Params)
-	}
-	flat := cfg
-	flat.Params = nil
-	return fmt.Sprintf("cell|%+v|%s", flat, params)
+	return resultcache.KeyOf("cell", cfg).Hex()
 }
 
 // RunPair runs the same configuration on CPU and GPU and returns both

@@ -12,6 +12,7 @@ import (
 	"wfsim/internal/dataset"
 	"wfsim/internal/metrics"
 	"wfsim/internal/model"
+	"wfsim/internal/resultcache"
 	"wfsim/internal/runner"
 	"wfsim/internal/runtime"
 	"wfsim/internal/tables"
@@ -83,8 +84,9 @@ func runExt1(ctx context.Context, eng *runner.Engine) (Result, error) {
 		cell := s.cell
 		if cell.Dataset.Rows > 0 {
 			trials[i] = runner.Trial{
-				ID:  "ext1:" + s.name,
-				Key: "ext1pair|" + CellKey(cell),
+				ID:    "ext1:" + s.name,
+				Key:   resultcache.KeyOf("ext1pair", cell).Hex(),
+				Codec: runner.JSONCodec[float64](),
 				Run: func(context.Context) (any, error) {
 					cpu, gpu, err := RunPair(cell)
 					if err != nil {
@@ -97,9 +99,12 @@ func runExt1(ctx context.Context, eng *runner.Engine) (Result, error) {
 				},
 			}
 		} else {
-			// linreg: simulate directly (not a Cell algorithm).
+			// linreg: simulate directly (not a Cell algorithm). The config
+			// is pinned inside linregSimSpeedup; the key names it exactly.
 			trials[i] = runner.Trial{
-				ID: "ext1:" + s.name,
+				ID:    "ext1:" + s.name,
+				Key:   resultcache.KeyOf("ext1linreg", dataset.KMeansSmall, int64(256), 2).Hex(),
+				Codec: runner.JSONCodec[float64](),
 				Run: func(context.Context) (any, error) {
 					return linregSimSpeedup()
 				},

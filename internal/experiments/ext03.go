@@ -9,6 +9,7 @@ import (
 	"wfsim/internal/cluster"
 	"wfsim/internal/costmodel"
 	"wfsim/internal/dataset"
+	"wfsim/internal/resultcache"
 	"wfsim/internal/runner"
 	"wfsim/internal/runtime"
 	"wfsim/internal/sched"
@@ -49,7 +50,7 @@ func runExt3(ctx context.Context, eng *runner.Engine) (Result, error) {
 		}
 	}
 	rows, err := runner.Map(ctx, eng, "ext3", specs,
-		func(s ext3Spec) string { return fmt.Sprintf("ext3|%v|%v", s.slow, s.pol) },
+		func(s ext3Spec) string { return resultcache.KeyOf("ext3", s.slow, int(s.pol)).Hex() },
 		func(_ context.Context, s ext3Spec) (Ext3Row, error) {
 			speeds := make([]float64, spec.Nodes)
 			for i := range speeds {

@@ -9,6 +9,7 @@ import (
 	"wfsim/internal/costmodel"
 	"wfsim/internal/dataset"
 	"wfsim/internal/faults"
+	"wfsim/internal/resultcache"
 	"wfsim/internal/runner"
 	"wfsim/internal/runtime"
 	"wfsim/internal/sched"
@@ -79,7 +80,9 @@ func runExt4(ctx context.Context, eng *runner.Engine) (Result, error) {
 		}
 	}
 	rows, err := runner.Map(ctx, eng, "ext4", specs,
-		func(s ext4Spec) string { return fmt.Sprintf("ext4|%s|%v|%v", s.level.name, s.arch, s.pol) },
+		// Keyed on the fault config itself, not the level name: renaming
+		// "moderate" must not alias two different fault schedules.
+		func(s ext4Spec) string { return resultcache.KeyOf("ext4", s.level.cfg, int(s.arch), int(s.pol)).Hex() },
 		func(_ context.Context, s ext4Spec) (Ext4Row, error) {
 			wf, err := kmeans.Build(kmeans.Config{
 				Dataset: dataset.KMeansSmall, Grid: 128, Clusters: 10,

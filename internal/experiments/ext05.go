@@ -8,6 +8,7 @@ import (
 	"wfsim/internal/apps/kmeans"
 	"wfsim/internal/costmodel"
 	"wfsim/internal/dataset"
+	"wfsim/internal/resultcache"
 	"wfsim/internal/runner"
 	"wfsim/internal/runtime"
 	"wfsim/internal/sched"
@@ -80,7 +81,7 @@ func runExt5(ctx context.Context, eng *runner.Engine) (Result, error) {
 	}
 	rows, err := runner.Map(ctx, eng, "ext5", specs,
 		func(s ext5Spec) string {
-			return fmt.Sprintf("ext5|%g|%d|%v|%v", s.load, s.tenants, s.arch, s.pol)
+			return resultcache.KeyOf("ext5", s.load, s.tenants, int(s.arch), int(s.pol)).Hex()
 		},
 		func(_ context.Context, s ext5Spec) ([]Ext5Row, error) {
 			sim := runtime.SimConfig{

@@ -130,18 +130,29 @@ func (a *Aggregates) Reset() {
 func (a *Aggregates) intern(s string, isTask bool) int32 {
 	id, ok := a.byName[s]
 	if !ok {
-		if a.byName == nil {
-			a.byName = make(map[string]int32, 16)
-		}
-		id = int32(len(a.names))
-		a.names = append(a.names, s)
-		a.taskName = append(a.taskName, false)
-		a.byName[s] = id
-		a.perName = append(a.perName, make([]sumCount, NumStages)...)
+		id = a.internSlow(s)
 	}
 	if isTask {
 		a.taskName[id] = true
 	}
+	return id
+}
+
+// internSlow registers a previously unseen task-type name. Cold by
+// construction: a workload has a handful of distinct names, interned in
+// its first few records, after which every Observe takes the map-hit path
+// in intern. Reset keeps the capacity, so across a sweep these
+// allocations happen once per worker, not once per trial.
+func (a *Aggregates) internSlow(s string) int32 {
+	if a.byName == nil {
+		a.byName = make(map[string]int32, 16) //wfsimlint:allow hotalloc
+	}
+	id := int32(len(a.names))
+	a.names = append(a.names, s)           //wfsimlint:allow hotalloc
+	a.taskName = append(a.taskName, false) //wfsimlint:allow hotalloc
+	a.byName[s] = id
+	//wfsimlint:allow hotalloc
+	a.perName = append(a.perName, make([]sumCount, NumStages)...)
 	return id
 }
 
@@ -164,14 +175,13 @@ func (a *Aggregates) Observe(r Record) {
 
 	core := r.Core + 1
 	if core >= len(a.perCore[st]) {
-		a.perCore[st] = append(a.perCore[st], make([]float64, core+1-len(a.perCore[st]))...)
-		a.coreSeen[st] = append(a.coreSeen[st], make([]bool, core+1-len(a.coreSeen[st]))...)
+		a.growCore(st, core)
 	}
 	a.perCore[st][core] += d
 	a.coreSeen[st][core] = true
 
 	if r.Level >= len(a.levels) {
-		a.levels = append(a.levels, make([]span, r.Level+1-len(a.levels))...)
+		a.growLevels(r.Level)
 	}
 	a.levels[r.Level].observe(r.Start, r.End)
 
@@ -180,6 +190,25 @@ func (a *Aggregates) Observe(r Record) {
 	if a.dist != nil {
 		a.dist[st].Observe(d)
 	}
+}
+
+// growCore extends the per-core accumulators of one stage up to core.
+// Cold by construction: each stage grows to the cluster's core count in
+// the first simulated wave and never again — Reset keeps the capacity,
+// so later trials on the same worker reuse the backing arrays.
+func (a *Aggregates) growCore(st, core int) {
+	//wfsimlint:allow hotalloc
+	a.perCore[st] = append(a.perCore[st], make([]float64, core+1-len(a.perCore[st]))...)
+	//wfsimlint:allow hotalloc
+	a.coreSeen[st] = append(a.coreSeen[st], make([]bool, core+1-len(a.coreSeen[st]))...)
+}
+
+// growLevels extends the per-level spans through level. Cold by
+// construction: levels grow monotonically to the DAG height once per
+// workload shape, and Reset keeps the capacity.
+func (a *Aggregates) growLevels(level int) {
+	//wfsimlint:allow hotalloc
+	a.levels = append(a.levels, make([]span, level+1-len(a.levels))...)
 }
 
 // Len returns the number of records observed.

@@ -1,0 +1,142 @@
+package resultcache
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// orderedA and reorderedA declare the same fields in different source
+// order: their canonical encodings must be identical, because a pure
+// refactor of field order must not invalidate a persistent cache.
+type orderedA struct {
+	Alpha int
+	Beta  string
+	Gamma float64
+}
+
+type reorderedA struct {
+	Gamma float64
+	Alpha int
+	Beta  string
+}
+
+func TestCanonicalIgnoresFieldOrder(t *testing.T) {
+	a := orderedA{Alpha: 7, Beta: "x", Gamma: 2.5}
+	b := reorderedA{Alpha: 7, Beta: "x", Gamma: 2.5}
+	ca, cb := string(Canonical(a)), string(Canonical(b))
+	if ca != cb {
+		t.Fatalf("field reordering changed the canonical encoding:\n a=%q\n b=%q", ca, cb)
+	}
+}
+
+func TestCanonicalDistinguishes(t *testing.T) {
+	base := orderedA{Alpha: 7, Beta: "x", Gamma: 2.5}
+	variants := []orderedA{
+		{Alpha: 8, Beta: "x", Gamma: 2.5},
+		{Alpha: 7, Beta: "y", Gamma: 2.5},
+		{Alpha: 7, Beta: "x", Gamma: 2.5000000000000004}, // one ULP off
+		{Alpha: 7, Beta: "x", Gamma: math.Copysign(0, -1)},
+	}
+	cb := string(Canonical(base))
+	for i, v := range variants {
+		if string(Canonical(v)) == cb {
+			t.Errorf("variant %d encodes identically to base", i)
+		}
+	}
+	// Negative zero and positive zero are distinct IEEE values and must
+	// hash differently (the simulator could in principle branch on sign).
+	if string(Canonical(0.0)) == string(Canonical(math.Copysign(0, -1))) {
+		t.Error("+0.0 and -0.0 encode identically")
+	}
+	// Nil pointer vs zero value.
+	var pz *orderedA
+	zero := &orderedA{}
+	if string(Canonical(pz)) == string(Canonical(zero)) {
+		t.Error("nil pointer and zero pointee encode identically")
+	}
+}
+
+func TestCanonicalStringsCannotImpersonateStructure(t *testing.T) {
+	// A string containing structural delimiters must not collide with a
+	// genuinely structured value: length prefixes prevent it.
+	type s1 struct{ A, B string }
+	x := s1{A: "p=1;B", B: "2"}
+	y := s1{A: "p=1", B: "B=2"}
+	if string(Canonical(x)) == string(Canonical(y)) {
+		t.Fatal("delimiter injection collided two distinct values")
+	}
+}
+
+func TestCanonicalRefusesUnexportedOnlyStructs(t *testing.T) {
+	type hidden struct{ a, b int }
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for struct with only unexported fields")
+		}
+	}()
+	Canonical(hidden{a: 1, b: 2})
+}
+
+// TestKeyGolden pins exact key digests. These hex strings are the
+// persistent cache's address space: if this test breaks, previously
+// cached results silently stop resolving (or worse, wrongly resolve), so
+// any intentional change here must come with a SchemaVersion bump.
+func TestKeyGolden(t *testing.T) {
+	type spec struct {
+		Grid    int64
+		Rate    float64
+		Tag     string
+		Weights []float64
+	}
+	cases := []struct {
+		name string
+		key  Key
+		want string
+	}{
+		{
+			name: "empty",
+			key:  KeyOf("probe"),
+			want: "d102d767d0b18afe970ce1e88674143908af7f8e75cb35410afeb4d87b19fcb7",
+		},
+		{
+			name: "spec",
+			key: KeyOf("cell", spec{
+				Grid: 256, Rate: 1.5, Tag: "kmeans", Weights: []float64{1, 2},
+			}),
+			want: "436fb76206b687556545367a065465d3013d735d70247516437517acab1b5a62",
+		},
+		{
+			name: "nil-part",
+			key:  KeyOf("cell", nil),
+			want: "ec341aa99cd67e5eab3479f6f4d82a3a2a32489e6811ac825ce487327ee3049f",
+		},
+	}
+	for _, c := range cases {
+		if got := c.key.Hex(); got != c.want {
+			t.Errorf("%s: key = %s, want %s (canonical keys changed: bump SchemaVersion)", c.name, got, c.want)
+		}
+	}
+}
+
+func TestKeyKindNamespaces(t *testing.T) {
+	if KeyOf("a", 1) == KeyOf("b", 1) {
+		t.Fatal("kind does not namespace keys")
+	}
+	if KeyOf("a", 1, 2) == KeyOf("a", 12) {
+		t.Fatal("part boundaries are ambiguous")
+	}
+}
+
+func TestCanonicalMapDeterministic(t *testing.T) {
+	m := map[string]int{"a": 1, "b": 2, "c": 3, "d": 4, "e": 5}
+	first := string(Canonical(m))
+	for i := 0; i < 20; i++ {
+		if got := string(Canonical(m)); got != first {
+			t.Fatalf("map encoding unstable: %q vs %q", got, first)
+		}
+	}
+	if !strings.HasPrefix(first, "m{") {
+		t.Fatalf("unexpected map encoding %q", first)
+	}
+}

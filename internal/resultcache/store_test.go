@@ -1,0 +1,223 @@
+package resultcache
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openT(t *testing.T, dir string, maxBytes int64) *Store {
+	t.Helper()
+	s, err := Open(dir, maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 0)
+	if _, ok := s.Get("k1"); ok {
+		t.Fatal("hit on empty store")
+	}
+	s.Put("k1", []byte("payload-1"))
+	got, ok := s.Get("k1")
+	if !ok || string(got) != "payload-1" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	// Overwrite replaces, does not duplicate.
+	s.Put("k1", []byte("payload-2"))
+	got, _ = s.Get("k1")
+	if string(got) != "payload-2" {
+		t.Fatalf("after overwrite Get = %q", got)
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Hits != 2 || st.Misses != 1 || st.Puts != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process (new Store over the same dir) serves the result.
+	s2 := openT(t, dir, 0)
+	got, ok = s2.Get("k1")
+	if !ok || string(got) != "payload-2" {
+		t.Fatalf("after reopen Get = %q, %v", got, ok)
+	}
+}
+
+func TestStoreSurvivesMissingIndex(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 0)
+	s.Put("a", []byte("A"))
+	s.Put("b", []byte("B"))
+	s.Close()
+	if err := os.Remove(filepath.Join(dir, indexFile)); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openT(t, dir, 0)
+	for key, want := range map[string]string{"a": "A", "b": "B"} {
+		got, ok := s2.Get(key)
+		if !ok || string(got) != want {
+			t.Fatalf("after index loss Get(%q) = %q, %v", key, got, ok)
+		}
+	}
+}
+
+// blobPaths returns the on-disk blob files.
+func blobPaths(t *testing.T, dir string) []string {
+	t.Helper()
+	des, err := os.ReadDir(filepath.Join(dir, blobDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, de := range des {
+		out = append(out, filepath.Join(dir, blobDir, de.Name()))
+	}
+	return out
+}
+
+func TestStoreCorruptionRecovery(t *testing.T) {
+	corruptions := map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)-3] },
+		"bit-flip":  func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b },
+		"bad-magic": func(b []byte) []byte { b[0] = 'X'; return b },
+		"schema-drift": func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:], SchemaVersion+1)
+			return b
+		},
+		"header-only": func(b []byte) []byte { return b[:blobHeaderSize-8] },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := openT(t, dir, 0)
+			s.Put("k", []byte("precious"))
+			paths := blobPaths(t, dir)
+			if len(paths) != 1 {
+				t.Fatalf("%d blobs, want 1", len(paths))
+			}
+			raw, err := os.ReadFile(paths[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(paths[0], corrupt(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get("k"); ok {
+				t.Fatalf("corrupted blob served as a hit: %q", got)
+			}
+			st := s.Stats()
+			if st.CorruptDropped != 1 {
+				t.Fatalf("CorruptDropped = %d, want 1", st.CorruptDropped)
+			}
+			if remaining := blobPaths(t, dir); len(remaining) != 0 {
+				t.Fatalf("corrupt blob not removed: %v", remaining)
+			}
+			// The store heals: a re-Put works and is served again.
+			s.Put("k", []byte("recomputed"))
+			if got, ok := s.Get("k"); !ok || string(got) != "recomputed" {
+				t.Fatalf("after heal Get = %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+func TestStoreSchemaInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 0)
+	s.Put("k", []byte("old-schema"))
+	s.Close()
+	// Rewrite the index claiming an older schema.
+	idx, err := os.ReadFile(filepath.Join(dir, indexFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := bytes.Replace(idx,
+		[]byte(fmt.Sprintf(`"schema":%d`, SchemaVersion)),
+		[]byte(`"schema":0`), 1)
+	if bytes.Equal(mutated, idx) {
+		t.Fatal("test could not mutate the schema field")
+	}
+	if err := os.WriteFile(filepath.Join(dir, indexFile), mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openT(t, dir, 0)
+	if _, ok := s2.Get("k"); ok {
+		t.Fatal("stale-schema entry served as a hit")
+	}
+	if n := len(blobPaths(t, dir)); n != 0 {
+		t.Fatalf("%d blobs survived schema invalidation", n)
+	}
+}
+
+func TestStoreEvictionOrder(t *testing.T) {
+	dir := t.TempDir()
+	// Each payload is 8 bytes; bound at 3 entries' worth.
+	s := openT(t, dir, 24)
+	pay := func(i int) []byte { return []byte(fmt.Sprintf("payld-%02d", i)) }
+	s.Put("a", pay(0))
+	s.Put("b", pay(1))
+	s.Put("c", pay(2))
+	// Touch a: it becomes most-recently-used, so the next insert must
+	// evict b (the least recently used), not a.
+	if _, ok := s.Get("a"); !ok {
+		t.Fatal("miss on a")
+	}
+	s.Put("d", pay(3))
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("b survived eviction; LRU order wrong")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("%s was evicted; LRU order wrong", k)
+		}
+	}
+	if ev := s.Stats().Evictions; ev != 1 {
+		t.Fatalf("Evictions = %d, want 1", ev)
+	}
+	// An oversized single entry is admitted (never evicts itself).
+	s.Put("huge", make([]byte, 100))
+	if _, ok := s.Get("huge"); !ok {
+		t.Fatal("oversized entry not admitted")
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", i%10)
+				if v, ok := s.Get(key); ok {
+					// Every reader of key i%10 must observe a value some
+					// writer stored under it.
+					if len(v) == 0 || v[0] != 'v' {
+						t.Errorf("garbled read %q", v)
+						return
+					}
+				}
+				s.Put(key, []byte(fmt.Sprintf("v-%d-%d", w, i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openT(t, dir, 0)
+	if s2.Stats().Entries != 10 {
+		t.Fatalf("Entries = %d, want 10", s2.Stats().Entries)
+	}
+}

@@ -1,0 +1,172 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeCache is an in-memory Cache recording traffic for assertions.
+type fakeCache struct {
+	mu   sync.Mutex
+	m    map[string][]byte
+	gets int
+	puts int
+}
+
+func newFakeCache() *fakeCache { return &fakeCache{m: map[string][]byte{}} }
+
+func (c *fakeCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gets++
+	v, ok := c.m[key]
+	return v, ok
+}
+
+func (c *fakeCache) Put(key string, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.puts++
+	c.m[key] = append([]byte(nil), payload...)
+}
+
+type row struct {
+	N int
+	X float64
+}
+
+func cacheTrial(key string, ran *atomic.Int64) Trial {
+	return Trial{
+		ID:    "t-" + key,
+		Key:   key,
+		Codec: JSONCodec[row](),
+		Run: func(context.Context) (any, error) {
+			ran.Add(1)
+			return row{N: 7, X: 1.5}, nil
+		},
+	}
+}
+
+func TestCacheMissPopulatesThenServes(t *testing.T) {
+	cache := newFakeCache()
+	var ran atomic.Int64
+
+	// First process: miss → execute → Put.
+	e1 := New(2)
+	e1.SetCache(cache)
+	rep, err := e1.Run(context.Background(), []Trial{cacheTrial("k", &ran)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 1 || cache.puts != 1 || rep.CacheHits != 0 {
+		t.Fatalf("cold run: ran=%d puts=%d cacheHits=%d", ran.Load(), cache.puts, rep.CacheHits)
+	}
+
+	// Second process (fresh engine, same cache): served without executing.
+	e2 := New(2)
+	e2.SetCache(cache)
+	rep, err = e2.Run(context.Background(), []Trial{cacheTrial("k", &ran)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 1 {
+		t.Fatalf("warm run re-executed the trial (ran=%d)", ran.Load())
+	}
+	o := rep.Outcomes[0]
+	if !o.CacheHit || !o.Memoized || rep.CacheHits != 1 {
+		t.Fatalf("warm outcome = %+v, report CacheHits = %d", o, rep.CacheHits)
+	}
+	if got := o.Value.(row); got != (row{N: 7, X: 1.5}) {
+		t.Fatalf("decoded value = %+v", got)
+	}
+	if st := e2.Stats(); st.CacheHits != 1 {
+		t.Fatalf("engine stats CacheHits = %d, want 1", st.CacheHits)
+	}
+}
+
+func TestCacheCorruptPayloadFallsThroughToRun(t *testing.T) {
+	cache := newFakeCache()
+	cache.m["k"] = []byte("{not json")
+	var ran atomic.Int64
+	e := New(1)
+	e.SetCache(cache)
+	rep, err := e.Run(context.Background(), []Trial{cacheTrial("k", &ran)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 1 {
+		t.Fatal("undecodable payload was not recomputed")
+	}
+	if rep.CacheHits != 0 {
+		t.Fatalf("CacheHits = %d for a decode failure", rep.CacheHits)
+	}
+	// The recomputed result overwrote the bad payload.
+	if string(cache.m["k"]) != `{"N":7,"X":1.5}` {
+		t.Fatalf("cache not healed: %q", cache.m["k"])
+	}
+}
+
+func TestCacheSkippedWithoutCodecOrKey(t *testing.T) {
+	cache := newFakeCache()
+	var ran atomic.Int64
+	e := New(1)
+	e.SetCache(cache)
+	trials := []Trial{
+		{ID: "keyed-no-codec", Key: "k1", Run: func(context.Context) (any, error) {
+			ran.Add(1)
+			return 1, nil
+		}},
+		{ID: "unkeyed", Codec: JSONCodec[int](), Run: func(context.Context) (any, error) {
+			ran.Add(1)
+			return 2, nil
+		}},
+	}
+	if _, err := e.Run(context.Background(), trials); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 2 || cache.gets != 0 || cache.puts != 0 {
+		t.Fatalf("cache touched: ran=%d gets=%d puts=%d", ran.Load(), cache.gets, cache.puts)
+	}
+}
+
+func TestMapAttachesCodecForKeyedItems(t *testing.T) {
+	cache := newFakeCache()
+	var ran atomic.Int64
+	run := func(_ context.Context, i int) (row, error) {
+		ran.Add(1)
+		return row{N: i, X: float64(i) / 3}, nil
+	}
+	key := func(i int) string { return fmt.Sprintf("map-%d", i) }
+
+	e1 := New(4)
+	e1.SetCache(cache)
+	items := []int{0, 1, 2, 3, 4}
+	cold, err := Map(context.Background(), e1, "m", items, key, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 5 || cache.puts != 5 {
+		t.Fatalf("cold map: ran=%d puts=%d", ran.Load(), cache.puts)
+	}
+
+	e2 := New(4)
+	e2.SetCache(cache)
+	warm, err := Map(context.Background(), e2, "m", items, key, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 5 {
+		t.Fatalf("warm map re-executed (ran=%d)", ran.Load())
+	}
+	for i := range cold {
+		if cold[i] != warm[i] {
+			t.Fatalf("item %d: cold %+v != warm %+v", i, cold[i], warm[i])
+		}
+	}
+	if st := e2.Stats(); st.CacheHits != 5 {
+		t.Fatalf("warm CacheHits = %d, want 5", st.CacheHits)
+	}
+}

@@ -20,6 +20,7 @@ package runner
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sync"
@@ -52,6 +53,47 @@ func WorkerSlot(ctx context.Context) *Slot {
 	return s
 }
 
+// Cache is a persistent result store the engine can consult before
+// executing a keyed trial and populate after: the cross-process
+// counterpart of the in-process memo map. internal/resultcache.Store
+// implements it. Implementations must be safe for concurrent use.
+type Cache interface {
+	// Get returns the payload stored under key, or false on a miss.
+	Get(key string) ([]byte, bool)
+	// Put stores payload under key. Put must not fail the caller: a
+	// cache that cannot write degrades to a smaller cache.
+	Put(key string, payload []byte)
+}
+
+// Codec converts a trial's result value to and from the byte payload a
+// Cache persists. The zero Codec marks a trial as non-persistable (it
+// still participates in the in-process memo).
+type Codec struct {
+	Encode func(v any) ([]byte, error)
+	Decode func(payload []byte) (any, error)
+}
+
+// Persistable reports whether the codec can round-trip values.
+func (c Codec) Persistable() bool { return c.Encode != nil && c.Decode != nil }
+
+// JSONCodec round-trips a concrete result type R through encoding/json.
+// This is lossless for the experiment row types (exported scalar fields;
+// Go's float64 JSON rendering is shortest-exact), so a decoded value
+// renders byte-identically to a freshly computed one — the property the
+// warm-sweep determinism test pins.
+func JSONCodec[R any]() Codec {
+	return Codec{
+		Encode: func(v any) ([]byte, error) { return json.Marshal(v.(R)) },
+		Decode: func(payload []byte) (any, error) {
+			var r R
+			if err := json.Unmarshal(payload, &r); err != nil {
+				return nil, err
+			}
+			return r, nil
+		},
+	}
+}
+
 // Trial is one independent unit of work: typically a single simulated
 // workflow execution for one factor combination.
 type Trial struct {
@@ -63,7 +105,15 @@ type Trial struct {
 	// (including an error, if the first execution failed). Memoized
 	// results must be treated as immutable by all sharers. An empty Key
 	// disables memoization for the trial.
+	//
+	// Keys should be canonical (resultcache.KeyOf) — stable across
+	// processes and struct-field refactors — because they also address
+	// the engine's persistent cache when one is attached.
 	Key string
+	// Codec, when persistable, lets a keyed trial's result be served
+	// from and stored to the engine's persistent cache across processes.
+	// Trials without a codec (or without a key) never touch it.
+	Codec Codec
 	// Run executes the trial. The context is cancelled when a sibling
 	// trial fails or the caller aborts; long-running trials may honor it,
 	// short deterministic simulations can ignore it (the engine stops
@@ -85,6 +135,9 @@ type Outcome struct {
 	Virtual float64
 	// Memoized marks values served from (or shared through) the cache.
 	Memoized bool
+	// CacheHit marks values decoded from the persistent cache rather
+	// than executed in this process (CacheHit implies Memoized).
+	CacheHit bool
 }
 
 // Report is the result of one Run call: outcomes in submission order plus
@@ -101,6 +154,8 @@ type Report struct {
 	Virtual float64
 	// Memoized counts trials served from the cache.
 	Memoized int
+	// CacheHits counts trials served from the persistent cache.
+	CacheHits int
 }
 
 // VirtualTimed is implemented by trial results that carry simulated
@@ -112,11 +167,12 @@ type VirtualTimed interface {
 
 // Stats is the engine's cumulative accounting across all Run calls.
 type Stats struct {
-	Trials   int
-	Memoized int
-	Failed   int
-	CPUWall  time.Duration
-	Virtual  float64
+	Trials    int
+	Memoized  int
+	CacheHits int
+	Failed    int
+	CPUWall   time.Duration
+	Virtual   float64
 }
 
 // Engine executes trial sets on a bounded worker pool. An Engine is safe
@@ -125,6 +181,10 @@ type Stats struct {
 // combination once.
 type Engine struct {
 	workers int
+	// cache, when non-nil, persists keyed+codec'd trial results across
+	// processes. Consulted only on first execution of a key (the
+	// in-process memo absorbs repeats within one engine lifetime).
+	cache Cache
 
 	mu    sync.Mutex
 	memo  map[string]*memoEntry
@@ -136,10 +196,11 @@ type Engine struct {
 }
 
 type memoEntry struct {
-	done    chan struct{}
-	value   any
-	virtual float64
-	err     error
+	done     chan struct{}
+	value    any
+	virtual  float64
+	cacheHit bool
+	err      error
 }
 
 // New returns an engine with the given worker-pool bound. A bound < 1
@@ -153,6 +214,11 @@ func New(workers int) *Engine {
 
 // Workers returns the pool bound.
 func (e *Engine) Workers() int { return e.workers }
+
+// SetCache attaches a persistent result cache. Attach before the first
+// Run call; the engine consults it for every keyed trial with a
+// persistable codec and writes freshly computed results back.
+func (e *Engine) SetCache(c Cache) { e.cache = c }
 
 // Stats returns cumulative accounting across every Run call so far.
 func (e *Engine) Stats() Stats {
@@ -212,6 +278,9 @@ feed:
 		if o.Memoized {
 			rep.Memoized++
 		}
+		if o.CacheHit {
+			rep.CacheHits++
+		}
 	}
 	failed := 0
 	var firstErr error
@@ -226,6 +295,7 @@ feed:
 	e.mu.Lock()
 	e.stats.Trials += len(trials)
 	e.stats.Memoized += rep.Memoized
+	e.stats.CacheHits += rep.CacheHits
 	e.stats.Failed += failed
 	e.stats.CPUWall += rep.CPUWall
 	e.stats.Virtual += rep.Virtual
@@ -273,8 +343,23 @@ func (e *Engine) runTrial(ctx context.Context, t Trial, out *Outcome) error {
 		if ent.err != nil {
 			return ent.err
 		}
-		out.Value, out.Virtual, out.Memoized = ent.value, ent.virtual, true
+		out.Value, out.Virtual, out.Memoized, out.CacheHit = ent.value, ent.virtual, true, ent.cacheHit
 		return nil
+	}
+
+	// First execution of this key in this process: the persistent cache
+	// may already hold the result from an earlier run.
+	if e.cache != nil && t.Codec.Persistable() {
+		if payload, ok := e.cache.Get(t.Key); ok {
+			if v, err := t.Codec.Decode(payload); err == nil {
+				ent.value, ent.virtual, ent.cacheHit = v, virtualOf(v), true
+				close(ent.done)
+				out.Value, out.Virtual, out.Memoized, out.CacheHit = v, ent.virtual, true, true
+				return nil
+			}
+			// Undecodable payload (stale codec, foreign writer): fall
+			// through and recompute; the fresh Put below overwrites it.
+		}
 	}
 
 	start := time.Now()
@@ -283,6 +368,11 @@ func (e *Engine) runTrial(ctx context.Context, t Trial, out *Outcome) error {
 	close(ent.done)
 	if ent.err != nil {
 		return ent.err
+	}
+	if e.cache != nil && t.Codec.Persistable() {
+		if payload, err := t.Codec.Encode(ent.value); err == nil {
+			e.cache.Put(t.Key, payload)
+		}
 	}
 	out.Value, out.Wall, out.Virtual = ent.value, time.Since(start), ent.virtual
 	return nil
@@ -330,6 +420,11 @@ func Map[T, R any](ctx context.Context, e *Engine, label string, items []T, key 
 			ID:  fmt.Sprintf("%s[%d]", label, i),
 			Key: k,
 			Run: func(ctx context.Context) (any, error) { return run(ctx, item) },
+		}
+		if k != "" {
+			// Keyed Map trials are persistable for free: R is a concrete
+			// row type that round-trips losslessly through JSON.
+			trials[i].Codec = JSONCodec[R]()
 		}
 	}
 	rep, err := e.Run(ctx, trials)

@@ -787,6 +787,8 @@ func (r *simRun) taskProc(p *sim.Proc) {
 		s.attempts[task.ID]++
 		n := int(s.attempts[task.ID])
 		if n >= r.fcfg.MaxAttempts {
+			// Terminal failure path: the run aborts right after.
+			//wfsimlint:allow hotalloc
 			r.failErr = fmt.Errorf("runtime: task %d (%s) exhausted %d attempts under transient failures",
 				task.ID, task.Name, n)
 			r.faults.Stop()

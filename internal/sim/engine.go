@@ -589,7 +589,8 @@ func (e *Engine) dispatch() {
 			return
 		}
 		if n.at < e.now {
-			e.err = fmt.Errorf("sim: time went backwards: %v < %v", n.at, e.now)
+			// Fatal invariant violation: formats once, then the run dies.
+			e.err = fmt.Errorf("sim: time went backwards: %v < %v", n.at, e.now) //wfsimlint:allow hotalloc
 			return
 		}
 		e.now = n.at
@@ -613,7 +614,7 @@ func (e *Engine) dispatch() {
 // once per engine.
 func (e *Engine) Run() error {
 	if e.ran {
-		return fmt.Errorf("sim: Run called twice")
+		return fmt.Errorf("sim: Run called twice") //wfsimlint:allow hotalloc
 	}
 	e.ran = true
 	e.dispatch()
@@ -623,6 +624,8 @@ func (e *Engine) Run() error {
 		return e.err
 	}
 	if deadlocked > 0 {
+		// Terminal diagnosis after the queue drained: never steady-state.
+		//wfsimlint:allow hotalloc
 		return fmt.Errorf("sim: deadlock: %d process(es) parked with no pending events at t=%v",
 			deadlocked, e.now)
 	}

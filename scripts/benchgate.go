@@ -4,8 +4,8 @@
 // any gated benchmark regressed past its budget relative to the latest
 // snapshot in the benchmark-tracking file that records it. Usage:
 //
-//	go test -run '^$' -bench 'SimWorkflow(Large)?$' -benchmem -count 2 . |
-//	    go run scripts/benchgate.go -gate SimWorkflow,SimWorkflowLarge
+//	go test -run '^$' -bench 'SimWorkflow(Large|Huge)?$' -benchmem -count 2 . |
+//	    go run scripts/benchgate.go -gate SimWorkflow,SimWorkflowLarge,SimWorkflowHuge
 //
 // The budgets are asymmetric on purpose: ns/op gets 25% headroom because
 // shared CI runners time noisily, while allocs/op gets only 10% — counting
@@ -44,7 +44,7 @@ type file struct {
 
 func main() {
 	in := flag.String("file", "BENCH_substrate.json", "tracking file holding the baseline snapshots")
-	gate := flag.String("gate", "SimWorkflow,SimWorkflowLarge", "comma-separated benchmarks to gate")
+	gate := flag.String("gate", "SimWorkflow,SimWorkflowLarge,SimWorkflowHuge", "comma-separated benchmarks to gate")
 	nsBudget := flag.Float64("ns-budget", 0.25, "allowed fractional ns/op regression")
 	allocBudget := flag.Float64("alloc-budget", 0.10, "allowed fractional allocs/op regression")
 	flag.Parse()

@@ -58,6 +58,15 @@ func TestSimAllocBudget(t *testing.T) {
 		{"local-locality-gpu", wfsim.SimConfig{
 			Device: wfsim.GPU, Storage: wfsim.LocalDisk, Policy: wfsim.DataLocality,
 		}},
+		// The lookahead path allocates its rank tables once per workflow at
+		// submission; the per-task dispatch (rank pop + EFT placement) must
+		// stay free, so the marginal budget holds unchanged.
+		{"shared-heft-cpu", wfsim.SimConfig{
+			Device: wfsim.CPU, Policy: wfsim.HEFT,
+		}},
+		{"local-worksteal-gpu", wfsim.SimConfig{
+			Device: wfsim.GPU, Storage: wfsim.LocalDisk, Policy: wfsim.WorkStealing,
+		}},
 	}
 	for _, c := range configs {
 		t.Run(c.name, func(t *testing.T) {

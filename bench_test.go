@@ -392,6 +392,91 @@ func BenchmarkLocalityPlace(b *testing.B) {
 	}
 }
 
+// BenchmarkHEFTPlace isolates one earliest-finish-time placement: tallying
+// input residency, then estimating finish time on every candidate node of
+// a speed-skewed cluster. Like locality placement it must stay
+// allocation-free — it runs once per task grant.
+func BenchmarkHEFTPlace(b *testing.B) {
+	s, err := sched.New(sched.HEFT, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nodes = 8
+	loc := make([]int32, 64)
+	for i := range loc {
+		loc[i] = int32(i % nodes)
+	}
+	speed := make([]float64, nodes)
+	for i := range speed {
+		speed[i] = 1.0
+		if i%2 == 1 {
+			speed[i] = 0.6
+		}
+	}
+	view := sched.View{
+		NumNodes: nodes,
+		Load:     make([]int, nodes),
+		Speed:    speed,
+		XferRate: 1 << 30,
+		Locate: func(id int32) (int, bool) {
+			if int(id) < len(loc) {
+				return int(loc[id]), true
+			}
+			return 0, false
+		},
+	}
+	ref := sched.TaskRef{ID: 1, Name: "partial_sum", Cost: 2.5, Inputs: []sched.DataLoc{
+		{ID: 3, Bytes: 64 << 20}, {ID: 11, Bytes: 64 << 20}, {ID: 42, Bytes: 1 << 10},
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := s.Place(ref, &view); n < 0 || n >= nodes {
+			b.Fatalf("placed on node %d", n)
+		}
+	}
+}
+
+// BenchmarkWorkStealNext isolates one work-stealing dispatch: finding the
+// idlest node, scanning the ready queue newest-first for a task homed on
+// it, and falling back to stealing the oldest. The queue is refilled in
+// batches outside the measured cost per pop so the scan always has depth.
+func BenchmarkWorkStealNext(b *testing.B) {
+	s, err := sched.New(sched.WorkSteal, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nodes = 8
+	view := sched.View{
+		NumNodes: nodes,
+		Load:     make([]int, nodes),
+		Locate:   func(id int32) (int, bool) { return -1, false },
+	}
+	s.(interface{ BindView(*sched.View) }).BindView(&view)
+	const depth = 64
+	var q sched.Queue
+	fill := func() {
+		for j := 0; j < depth; j++ {
+			q.Push(sched.TaskRef{ID: j})
+		}
+	}
+	fill()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref, ok := s.Next(&q)
+		if !ok {
+			b.Fatal("queue empty")
+		}
+		if q.Len() == 0 {
+			b.StopTimer()
+			fill()
+			b.StartTimer()
+		}
+		_ = ref
+	}
+}
+
 // BenchmarkRealMatmul measures the real blocked-multiply backend.
 func BenchmarkRealMatmul(b *testing.B) {
 	b.ReportAllocs()

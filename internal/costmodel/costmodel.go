@@ -199,6 +199,54 @@ type Params struct {
 	SchedFIFO     float64
 	SchedLocality float64
 
+	// SchedLIFO / SchedRandom are the per-decision base costs of the two
+	// ablation policies. LIFO pops the other end of the same ring as FIFO
+	// (near-identical cost); Random replaces the least-loaded scan with a
+	// single PRNG draw (cheapest of all). They are deliberately distinct
+	// constants: the ext6 overhead sweep distinguishes policies by cost,
+	// and aliasing them to SchedFIFO (the pre-zoo bug) collapsed three
+	// policies onto one service time.
+	SchedLIFO   float64
+	SchedRandom float64
+
+	// SchedHEFT / SchedBLevel / SchedMinMin are the base per-decision
+	// costs of the lookahead policies, on top of which the per-decision
+	// model adds queue- and cluster-dependent terms:
+	//
+	//	cost = SchedOverheadScale × (base
+	//	        + SchedPerRank × readyQueueLen   [rank/priority scan]
+	//	        + SchedPerNode × numNodes)       [per-candidate EFT scan]
+	//
+	// b-level pays no per-node term: its placement is the same
+	// least-loaded scan the cheap policies use, while HEFT and min-min
+	// evaluate an earliest-finish-time estimate on every candidate node.
+	// Calibrated against Beránek et al.'s measured scheduler runtimes
+	// (single-digit ms per decision for HEFT-class schedulers at modest
+	// cluster sizes, tens of µs for queue pops).
+	SchedHEFT   float64
+	SchedBLevel float64
+	SchedMinMin float64
+
+	// SchedWorkSteal is the per-decision cost of the work-stealing
+	// discipline: deque pops are near-free and the steal scan is
+	// amortized, so this sits below every centralized policy — the
+	// decentralized-runtime end of the Dask-overheads spectrum.
+	SchedWorkSteal float64
+
+	// SchedPerRank / SchedPerNode are the marginal per-decision costs of
+	// scanning one ready-queue entry (priority comparison) and one
+	// candidate node (EFT evaluation) respectively.
+	SchedPerRank float64
+	SchedPerNode float64
+
+	// SchedOverheadScale multiplies every policy's per-decision master
+	// service time. 1 is the calibrated testbed; 0 is the "free
+	// scheduler" limit in which lookahead quality is all that matters;
+	// large values model a slow master (interpreter-bound COMPSs/Dask
+	// runtimes at fine task granularity). This is the x-axis of the ext6
+	// ranking-flip study.
+	SchedOverheadScale float64
+
 	// SoloThreadSpeedup is the multi-threaded speedup a CPU task's
 	// vectorized kernel achieves when it is the only task at its DAG
 	// level (NumPy/BLAS spread over the node's 16 otherwise-idle cores
@@ -254,6 +302,18 @@ func DefaultParams() Params {
 
 		SchedFIFO:     0.35e-3,
 		SchedLocality: 1.6e-3,
+
+		SchedLIFO:   0.32e-3,
+		SchedRandom: 0.25e-3,
+
+		SchedHEFT:      0.9e-3,
+		SchedBLevel:    0.55e-3,
+		SchedMinMin:    0.7e-3,
+		SchedWorkSteal: 0.08e-3,
+		SchedPerRank:   0.012e-3,
+		SchedPerNode:   0.025e-3,
+
+		SchedOverheadScale: 1,
 
 		SoloThreadSpeedup: 16,
 	}
@@ -442,6 +502,15 @@ func (p *Params) Validate() error {
 		{"NICLatency", p.NICLatency},
 		{"SchedFIFO", p.SchedFIFO},
 		{"SchedLocality", p.SchedLocality},
+		{"SchedLIFO", p.SchedLIFO},
+		{"SchedRandom", p.SchedRandom},
+		{"SchedHEFT", p.SchedHEFT},
+		{"SchedBLevel", p.SchedBLevel},
+		{"SchedMinMin", p.SchedMinMin},
+		{"SchedWorkSteal", p.SchedWorkSteal},
+		{"SchedPerRank", p.SchedPerRank},
+		{"SchedPerNode", p.SchedPerNode},
+		{"SchedOverheadScale", p.SchedOverheadScale},
 	}
 	for _, c := range nonNegative {
 		if c.v < 0 || math.IsNaN(c.v) || math.IsInf(c.v, 0) {

@@ -63,7 +63,7 @@ func BenchmarkAblationOccupancy(b *testing.B) {
 
 // ablationSchedulerPolicies is the policy set of the scheduler ablation,
 // in trial order.
-var ablationSchedulerPolicies = []sched.Policy{sched.FIFO, sched.Locality, sched.LIFO, sched.Random}
+var ablationSchedulerPolicies = sched.Policies()
 
 // AblationScheduler compares all four policies on the locality-sensitive
 // configuration (K-means, local disks): locality and generation order

@@ -37,7 +37,7 @@ func TestFig11DeterministicAcrossParallelism(t *testing.T) {
 func TestAblationDeterministicAcrossParallelism(t *testing.T) {
 	serial := ablationScheduler(t, runner.New(1))
 	parallel := ablationScheduler(t, runner.New(8))
-	for _, pol := range []sched.Policy{sched.FIFO, sched.Locality, sched.LIFO, sched.Random} {
+	for _, pol := range sched.Policies() {
 		if serial[pol] != parallel[pol] {
 			t.Errorf("%v makespan differs between -j 1 and -j 8: %v vs %v",
 				pol, serial[pol], parallel[pol])

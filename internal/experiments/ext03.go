@@ -91,7 +91,7 @@ func (r *Ext3Result) Render() string {
 	for _, row := range r.Rows {
 		t.AddRow(
 			fmt.Sprintf("%.0f%%", row.SlowFactor*100),
-			row.Policy.String(),
+			row.Policy.Describe(),
 			tables.FormatFloat(row.MakespanCPU),
 			fmt.Sprintf("%.0f%%", row.CoreUtil*100),
 		)

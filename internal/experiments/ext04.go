@@ -123,7 +123,7 @@ func (r *Ext4Result) Render() string {
 		t.AddRow(
 			row.Level,
 			row.Storage.String(),
-			row.Policy.String(),
+			row.Policy.Describe(),
 			tables.FormatFloat(row.Makespan),
 			fmt.Sprint(s.Crashes),
 			fmt.Sprint(s.CrashRequeues),

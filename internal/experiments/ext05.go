@@ -155,7 +155,7 @@ func (r *Ext5Result) Render() string {
 			fmt.Sprintf("%gx", row.Load),
 			fmt.Sprint(row.NumTenant),
 			row.Storage.String(),
-			row.Policy.String(),
+			row.Policy.Describe(),
 			row.Tenant,
 			tables.FormatFloat(row.Slowdown.P50),
 			tables.FormatFloat(row.Slowdown.P95),

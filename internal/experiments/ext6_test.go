@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"testing"
+
+	"wfsim/internal/runner"
+	"wfsim/internal/sched"
+)
+
+func TestRenderExt6(t *testing.T) {
+	out := renderOf(t, "ext6")
+	assertContains(t, out,
+		"scheduler zoo",
+		"overhead scale",
+		"heft",
+		"b-level",
+		"min-min",
+		"work stealing",
+		"task generation order",
+		"ranking flip at scale",
+	)
+}
+
+// TestExt6RankingFlip pins the study's finding on every (shape, nodes)
+// group: with free dispatch the lookahead schedulers strictly beat the
+// myopic ones, a flip scale exists within the sweep, and from that scale
+// up to the sweep's end the ordering stays inverted — the overhead model,
+// not noise, drives the crossover.
+func TestExt6RankingFlip(t *testing.T) {
+	r := mustRun(t, "ext6").(*Ext6Result)
+	groups := r.Groups()
+	if len(groups) != len(ext6Shapes)*len(ext6Nodes) {
+		t.Fatalf("got %d groups, want %d", len(groups), len(ext6Shapes)*len(ext6Nodes))
+	}
+	for _, g := range groups {
+		myopic0 := g.bestAt(0, sched.FIFO, sched.Locality)
+		lookahead0 := g.bestAt(0, sched.HEFT, sched.BLevel)
+		if !(lookahead0 < myopic0) {
+			t.Errorf("%s/%d nodes: at scale 0 lookahead (%v) does not beat myopic (%v)",
+				g.Shape, g.Nodes, lookahead0, myopic0)
+		}
+		flip, ok := g.FlipScale()
+		if !ok {
+			t.Errorf("%s/%d nodes: no ranking flip within the sweep", g.Shape, g.Nodes)
+			continue
+		}
+		if flip == 0 {
+			t.Errorf("%s/%d nodes: flip at scale 0 contradicts the lookahead win", g.Shape, g.Nodes)
+		}
+		inverted := false
+		for _, scale := range ext6Scales {
+			if scale < flip {
+				continue
+			}
+			inverted = true
+			if my, la := g.bestAt(scale, sched.FIFO, sched.Locality), g.bestAt(scale, sched.HEFT, sched.BLevel); !(my < la) {
+				t.Errorf("%s/%d nodes: at scale %g past the flip, myopic (%v) does not beat lookahead (%v)",
+					g.Shape, g.Nodes, scale, my, la)
+			}
+		}
+		if !inverted {
+			t.Errorf("%s/%d nodes: flip scale %g not in the sweep", g.Shape, g.Nodes, flip)
+		}
+	}
+}
+
+// TestExt6Deterministic reruns the whole study on fresh engines at
+// different parallelism and requires byte-identical renders: results are a
+// pure function of configuration, which is what makes them cacheable.
+func TestExt6Deterministic(t *testing.T) {
+	serial := renderWith(t, "ext6", 1)
+	parallel := renderWith(t, "ext6", 8)
+	if serial != parallel {
+		t.Errorf("ext6 render differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s",
+			serial, parallel)
+	}
+}
+
+// TestExt6MemoServesRerun pins warm serving: a second run on the same
+// engine is answered entirely from the memo — no new trials.
+func TestExt6MemoServesRerun(t *testing.T) {
+	eng := runner.New(0)
+	e, err := ByID("ext6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := e.Run(t.Context(), eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := eng.Stats()
+	second, err := e.Run(t.Context(), eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := eng.Stats()
+	if asked, served := warm.Trials-cold.Trials, warm.Memoized-cold.Memoized; asked == 0 || served != asked {
+		t.Errorf("warm rerun: %d of %d trials memo-served, want all", served, asked)
+	}
+	if first.Render() != second.Render() {
+		t.Error("warm rerun renders differently from cold run")
+	}
+}

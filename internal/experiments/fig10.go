@@ -19,7 +19,7 @@ type StorageSchedCombo struct {
 }
 
 func (c StorageSchedCombo) String() string {
-	return fmt.Sprintf("%s, %s", c.Storage, c.Policy)
+	return fmt.Sprintf("%s, %s", c.Storage, c.Policy.Describe())
 }
 
 // Fig10Combos are the four panels of Figure 10, in the paper's order.

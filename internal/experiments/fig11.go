@@ -170,7 +170,7 @@ func CorrelateCells(cells []Cell) (*stats.Matrix, error) {
 	names, cols = appendOneHot(names, cols, stoNames, stoCols, map[string]string{
 		"shared disk": FeatShared, "local disk": FeatLocal,
 	})
-	schNames, schCols := stats.OneHot(catCol(func(c Cell) string { return c.Policy.String() }))
+	schNames, schCols := stats.OneHot(catCol(func(c Cell) string { return c.Policy.Describe() }))
 	names, cols = appendOneHot(names, cols, schNames, schCols, map[string]string{
 		"task generation order": FeatFIFO, "data locality": FeatLocality,
 	})

@@ -27,11 +27,11 @@ func TestByIDUnknown(t *testing.T) {
 }
 
 // TestAllCoversDesignDoc pins the registry to the experiment inventory in
-// DESIGN.md §3: every paper artifact plus the five extensions, no
+// DESIGN.md §3: every paper artifact plus the six extensions, no
 // strays, sorted by ID.
 func TestAllCoversDesignDoc(t *testing.T) {
 	want := []string{
-		"ext1", "ext2", "ext3", "ext4", "ext5",
+		"ext1", "ext2", "ext3", "ext4", "ext5", "ext6",
 		"fig1", "fig10a", "fig10b", "fig11", "fig12",
 		"fig7a", "fig7b", "fig8", "fig9a", "fig9b",
 		"table1",

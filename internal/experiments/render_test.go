@@ -220,7 +220,7 @@ func TestExt2ArchitectureShifts(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig7a", "fig7b", "fig8", "fig9a", "fig9b",
-		"fig10a", "fig10b", "fig11", "fig12", "table1", "ext1", "ext2", "ext3", "ext4", "ext5"}
+		"fig10a", "fig10b", "fig11", "fig12", "table1", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6"}
 	for _, id := range want {
 		if _, err := ByID(id); err != nil {
 			t.Errorf("missing experiment %q", id)

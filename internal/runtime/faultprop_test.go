@@ -14,7 +14,7 @@ import (
 )
 
 func TestEveryWorkflowCompletesUnderFaults(t *testing.T) {
-	policies := []sched.Policy{sched.FIFO, sched.Locality, sched.LIFO, sched.Random}
+	policies := sched.Policies()
 	for seed := uint64(1); seed <= 5; seed++ {
 		cfg := workload.Default(seed)
 		cfg.Tasks = 60

@@ -128,10 +128,14 @@ func (c *ClusterSim) Submit(tenant int, wf *Workflow, at float64, onDone func(Wo
 	}
 	c.submissions++
 	r := c.run
+	// Lookahead tables are built at submission time, outside engine
+	// context: the arrival event only registers the session, keeping the
+	// engine-side path free of DAG walks and allocations.
+	ranks, costs := rankTables(wf, &r.cfg)
 	r.pendingSubmits++
 	r.eng.Schedule(at, func() {
 		r.pendingSubmits--
-		r.addSession(wf, int32(tenant), func(s *session) {
+		r.addSession(wf, int32(tenant), ranks, costs, func(s *session) {
 			if onDone != nil {
 				onDone(WorkflowResult{
 					Tenant: int(s.tenant), Session: int(s.idx),
@@ -144,6 +148,7 @@ func (c *ClusterSim) Submit(tenant int, wf *Workflow, at float64, onDone func(Wo
 			// stays for accounting.
 			s.wf, s.collector, s.sink = nil, nil, nil
 			s.remaining, s.levelWidth = nil, nil
+			s.ranks, s.costs = nil, nil
 			s.attempts, s.doneTask, s.inFlight, s.waiters, s.counted = nil, nil, nil, nil, nil
 		})
 	})

@@ -27,7 +27,7 @@ func traceCSV(t *testing.T, c *metrics.Collector) string {
 // produces the exact trace RunSim produces, for every policy (NextFor
 // restricted to the only tenant must equal Next).
 func TestClusterSimSingleTenantMatchesRunSim(t *testing.T) {
-	for _, pol := range []sched.Policy{sched.FIFO, sched.Locality, sched.LIFO, sched.Random} {
+	for _, pol := range sched.Policies() {
 		cfg := SimConfig{Device: costmodel.GPU, Policy: pol, Storage: storage.Local, Seed: 7}
 		ref, err := RunSim(gridWorkflow(4, 16, testProf), cfg)
 		if err != nil {

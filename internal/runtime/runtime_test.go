@@ -184,7 +184,7 @@ func TestSimStorageArchitectureMatters(t *testing.T) {
 }
 
 func TestSimSchedulerPoliciesRun(t *testing.T) {
-	for _, pol := range []sched.Policy{sched.FIFO, sched.Locality, sched.LIFO, sched.Random} {
+	for _, pol := range sched.Policies() {
 		res, err := RunSim(fanWorkflow(16, testProf), SimConfig{Policy: pol})
 		if err != nil {
 			t.Fatalf("%v: %v", pol, err)

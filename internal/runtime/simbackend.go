@@ -190,7 +190,8 @@ func RunSim(wf *Workflow, cfg SimConfig) (*SimResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := run.addSession(wf, 0, nil)
+	ranks, costs := rankTables(wf, &cfg)
+	s := run.addSession(wf, 0, ranks, costs, nil)
 
 	if err := run.eng.Run(); err != nil {
 		return nil, fmt.Errorf("runtime: simulation failed: %w", err)
@@ -265,6 +266,12 @@ type session struct {
 	remaining []int // unmet dependency count per task
 	// levelWidth is tasks per DAG level (solo-task thread-speedup rule).
 	levelWidth []int
+	// ranks and costs are the per-task lookahead tables the configured
+	// policy consumes (HEFT upward ranks / b-levels, and estimated
+	// dedicated-resource execution times), computed once per workflow
+	// outside engine context (see rankTables) and stamped onto refs at
+	// enqueue. nil for policies without lookahead.
+	ranks, costs []float64
 	// dataBase offsets this workflow's dense datum IDs into the shared
 	// storage system's global ID space: workflows intern IDs from 0
 	// independently, so co-resident sessions must not collide.
@@ -335,15 +342,14 @@ type simRun struct {
 	store     storage.System
 	scheduler sched.Scheduler
 
-	queue         sched.Queue
-	granted       sched.Queue     // refs popped at grant instants, consumed in grant order
-	view          sched.View      // reused across every placement decision
-	taskProcFn    func(*sim.Proc) // bound once; a per-enqueue method value would allocate
-	requestFn     func()          // bound once: Master.Request
-	schedOverhead float64         // per-decision master service time (policy constant)
-	load          []int           // outstanding tasks per node
-	slots         [][]uint64      // per-node free-core bitmap (bit set = free)
-	inputSlab     []sched.DataLoc
+	queue      sched.Queue
+	granted    sched.Queue     // refs popped at grant instants, consumed in grant order
+	view       sched.View      // reused across every placement decision
+	taskProcFn func(*sim.Proc) // bound once; a per-enqueue method value would allocate
+	requestFn  func()          // bound once: Master.Request
+	load       []int           // outstanding tasks per node
+	slots      [][]uint64      // per-node free-core bitmap (bit set = free)
+	inputSlab  []sched.DataLoc
 
 	sessions       []*session
 	active         int   // sessions submitted and not yet finished
@@ -398,7 +404,6 @@ func newSimRun(cfg SimConfig, numDataHint int) (*simRun, error) {
 	}
 	r.taskProcFn = r.taskProc
 	r.requestFn = clu.Master.Request
-	r.schedOverhead = scheduler.Overhead(*cfg.Params)
 	// The master grant callback pops the ready queue at the exact grant
 	// instant and schedules the task process to start once the decision's
 	// service time has elapsed. Dispatch requests are procless events, so a
@@ -406,11 +411,17 @@ func newSimRun(cfg SimConfig, numDataHint int) (*simRun, error) {
 	clu.Master.SetOnGrant(r.grantNext)
 	// The scheduler view is stable for the whole run: Load and Locate are
 	// live references into the run state, so one View serves every
-	// placement decision.
+	// placement decision. Speed and XferRate feed the lookahead policies'
+	// earliest-finish-time estimates.
 	r.view = sched.View{
 		NumNodes: cfg.Cluster.Nodes,
 		Load:     r.load,
 		Locate:   store.Location,
+		Speed:    cfg.NodeSpeed,
+		XferRate: cfg.Params.NICBandwidth,
+	}
+	if b, ok := scheduler.(sched.ViewBinder); ok {
+		b.BindView(&r.view)
 	}
 	// Core-occupancy bitmaps: bit i set = physical core i free.
 	words := (cfg.Cluster.CoresPerNode + 63) / 64
@@ -440,11 +451,15 @@ func newSimRun(cfg SimConfig, numDataHint int) (*simRun, error) {
 // virtual instant: allocates its session state and datum-ID range,
 // pre-places its input data, and enqueues its dependency-free tasks in
 // generation order. Runs engine-side (or before eng.Run for the
-// single-workflow case, where the instant is 0).
-func (r *simRun) addSession(wf *Workflow, tenant int32, onDone func(*session)) *session {
+// single-workflow case, where the instant is 0). ranks and costs are the
+// workflow's precomputed lookahead tables (rankTables) — computed by the
+// caller, outside engine context, so the hot path never builds them.
+func (r *simRun) addSession(wf *Workflow, tenant int32, ranks, costs []float64, onDone func(*session)) *session {
 	s := &session{
 		idx: int32(len(r.sessions)), tenant: tenant, wf: wf,
 		remaining: r.grabRemaining(wf.Graph.Len()),
+		ranks:     ranks,
+		costs:     costs,
 		dataBase:  r.nextData,
 		submitted: r.eng.Now(),
 		onDone:    onDone,
@@ -645,6 +660,14 @@ func (r *simRun) enqueue(s *session, t *dag.Task) {
 		ID: t.ID, Name: t.Name, Enqueued: r.eng.Now(),
 		Tenant: s.tenant, Session: s.idx,
 	}
+	// Lookahead policies read precomputed tables off the ref; stamping is
+	// a slice index, so the enqueue path stays allocation-free.
+	if s.ranks != nil {
+		ref.Rank = s.ranks[t.ID]
+	}
+	if s.costs != nil {
+		ref.Cost = s.costs[t.ID]
+	}
 	nReads := 0
 	for _, p := range t.Params {
 		if p.Reads() {
@@ -729,6 +752,10 @@ func (r *simRun) rec(s *session, buf *attemptRecs, task *dag.Task, nodeID, core 
 // the policy picks within that tenant's refs; single-workflow runs take
 // the policy's pick directly, byte-identical to the pre-tenant runtime.
 func (r *simRun) grantNext() {
+	// The decision is priced at the queue depth the master actually
+	// scanned: the per-rank term of the overhead model sees the ready set
+	// as it was before the pick.
+	qlen := r.queue.Len()
 	var ref sched.TaskRef
 	var ok bool
 	if m := r.multi; m != nil {
@@ -741,7 +768,7 @@ func (r *simRun) grantNext() {
 		panic("runtime: ready queue empty at dispatch")
 	}
 	r.granted.Push(ref)
-	r.eng.GoAfter("task", r.schedOverhead, r.taskProcFn)
+	r.eng.GoAfter("task", r.scheduler.Overhead(r.params, qlen, r.cfg.Cluster.Nodes), r.taskProcFn)
 }
 
 // taskProc is the full lifecycle of one dispatched task, starting at the

@@ -1,0 +1,55 @@
+package sched
+
+import "wfsim/internal/dag"
+
+// Lookahead rank computation for the priority schedulers. Ranks are
+// computed once per workflow (task IDs are assigned in generation order,
+// which dag.Graph guarantees is topological) and stamped onto TaskRefs by
+// the runtime, so the dispatch path never walks the DAG.
+
+// BLevels returns every task's bottom level: the weight of the heaviest
+// weight-summed path from the task to any sink, inclusive of the task
+// itself. A source task on the critical path therefore carries exactly
+// the Graph.CriticalPath length under the same weight function. One
+// reverse-topological pass, O(V+E).
+func BLevels(g *dag.Graph, weight func(*dag.Task) float64) []float64 {
+	levels := make([]float64, g.Len())
+	for id := g.Len() - 1; id >= 0; id-- {
+		t := g.Task(id)
+		var below float64
+		for _, succ := range t.Succs() {
+			if levels[succ] > below {
+				below = levels[succ]
+			}
+		}
+		levels[id] = weight(t) + below
+	}
+	return levels
+}
+
+// UpwardRanks returns HEFT's upward rank for every task:
+//
+//	rank(t) = w(t) + max over successors s of (comm(t, s) + rank(s))
+//
+// where w is the task's mean execution cost across the (possibly
+// heterogeneous) cluster and comm prices the data handed from t to s. A
+// nil comm means zero transfer cost, under which UpwardRanks reduces
+// exactly to BLevels — the property the scheduler tests pin.
+func UpwardRanks(g *dag.Graph, weight func(*dag.Task) float64, comm func(from, to *dag.Task) float64) []float64 {
+	ranks := make([]float64, g.Len())
+	for id := g.Len() - 1; id >= 0; id-- {
+		t := g.Task(id)
+		var below float64
+		for _, succ := range t.Succs() {
+			r := ranks[succ]
+			if comm != nil {
+				r += comm(t, g.Task(succ))
+			}
+			if r > below {
+				below = r
+			}
+		}
+		ranks[id] = weight(t) + below
+	}
+	return ranks
+}

@@ -142,7 +142,9 @@ type Perturbation struct {
 	Device string `json:"device,omitempty"`
 	// Storage switches the storage architecture: "shared" or "local".
 	Storage string `json:"storage,omitempty"`
-	// Policy switches the scheduling policy: "fifo" or "locality".
+	// Policy switches the scheduling policy by its stable token: "fifo",
+	// "locality", "lifo", "random", "heft", "blevel", "minmin" or
+	// "worksteal" (sched.ParsePolicy).
 	Policy string `json:"policy,omitempty"`
 }
 
@@ -184,14 +186,12 @@ func (p Perturbation) Apply(cfg experiments.CellConfig) (experiments.CellConfig,
 	default:
 		return cfg, fmt.Errorf("unknown storage %q", p.Storage)
 	}
-	switch p.Policy {
-	case "":
-	case "fifo":
-		cfg.Policy = sched.FIFO
-	case "locality":
-		cfg.Policy = sched.Locality
-	default:
-		return cfg, fmt.Errorf("unknown policy %q", p.Policy)
+	if p.Policy != "" {
+		pol, err := sched.ParsePolicy(p.Policy)
+		if err != nil {
+			return cfg, fmt.Errorf("unknown policy %q", p.Policy)
+		}
+		cfg.Policy = pol
 	}
 	return cfg, nil
 }

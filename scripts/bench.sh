@@ -12,7 +12,7 @@ set -eu
 
 label=
 count=5
-bench='Sim(Engine|Handoff|LinkChurn|ServerContention|Workflow|WorkflowLarge|WorkflowHuge)$|^Benchmark(DAGBuild|LocalityPlace|EventQueue)$'
+bench='Sim(Engine|Handoff|LinkChurn|ServerContention|Workflow|WorkflowLarge|WorkflowHuge)$|^Benchmark(DAGBuild|LocalityPlace|HEFTPlace|WorkStealNext|EventQueue)$'
 
 usage() {
     echo "usage: scripts/bench.sh -label <label> [-count N] [-bench <regexp>]" >&2

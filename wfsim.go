@@ -122,12 +122,18 @@ const (
 	LocalDisk  = storage.Local
 )
 
-// Scheduling policies (factor h).
+// Scheduling policies (factor h). The first four are the paper's
+// COMPSs-style baselines; the rest are the lookahead and work-stealing
+// extensions studied under the calibrated dispatch-cost model (ext6).
 const (
 	GenerationOrder = sched.FIFO
 	DataLocality    = sched.Locality
 	LIFO            = sched.LIFO
 	RandomPlacement = sched.Random
+	HEFT            = sched.HEFT
+	BLevel          = sched.BLevel
+	MinMin          = sched.MinMin
+	WorkStealing    = sched.WorkSteal
 )
 
 // QueueKind selects the engine's pending-event queue implementation.
